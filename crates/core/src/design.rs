@@ -1,0 +1,141 @@
+//! Design preparation: from RTL + spec + target assertions to a checkable
+//! package.
+
+use genfv_ir::{Context, TransitionSystem};
+use genfv_mc::Property;
+use genfv_sva::PropertyCompiler;
+use std::error::Error;
+use std::fmt;
+
+/// Failure while preparing a design (parse/elaborate/compile).
+#[derive(Clone, Debug)]
+pub struct PrepareError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "design preparation error: {}", self.message)
+    }
+}
+
+impl Error for PrepareError {}
+
+/// A target property to prove.
+#[derive(Clone, Debug)]
+pub struct Target {
+    /// Property name.
+    pub name: String,
+    /// Original SVA source text (sent to the LLM in prompts).
+    pub sva: String,
+    /// Compiled property.
+    pub prop: Property,
+}
+
+/// A fully prepared design: elaborated RTL plus compiled target properties.
+#[derive(Clone, Debug)]
+pub struct PreparedDesign {
+    /// Design name.
+    pub name: String,
+    /// RTL source (prompt input).
+    pub rtl: String,
+    /// Specification prose (prompt input).
+    pub spec: String,
+    /// Expression context.
+    pub ctx: Context,
+    /// Elaborated transition system (including target monitors).
+    pub ts: TransitionSystem,
+    /// Targets to prove.
+    pub targets: Vec<Target>,
+}
+
+impl PreparedDesign {
+    /// Parses, elaborates, and compiles everything.
+    ///
+    /// `targets` are `(name, sva_source)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`PrepareError`] if the RTL does not parse/elaborate or a
+    /// target assertion does not compile.
+    pub fn new(
+        name: impl Into<String>,
+        rtl: impl Into<String>,
+        spec: impl Into<String>,
+        targets: &[(String, String)],
+    ) -> Result<Self, PrepareError> {
+        let name = name.into();
+        let rtl = rtl.into();
+        let spec = spec.into();
+        let modules = genfv_hdl::parse_source(&rtl)
+            .map_err(|e| PrepareError { message: format!("{name}: {e}") })?;
+        let module = modules
+            .into_iter()
+            .next()
+            .ok_or_else(|| PrepareError { message: format!("{name}: no module found") })?;
+        let mut ctx = Context::new();
+        let mut ts = genfv_hdl::elaborate(&mut ctx, &module)
+            .map_err(|e| PrepareError { message: format!("{name}: {e}") })?;
+
+        let mut compiled = Vec::with_capacity(targets.len());
+        for (tname, sva) in targets {
+            let assertion = genfv_sva::parse_assertion(sva)
+                .map_err(|e| PrepareError { message: format!("{name}/{tname}: {e}") })?;
+            let mut pc = PropertyCompiler::new(&mut ctx, &mut ts);
+            let prop = pc
+                .compile(&assertion)
+                .map_err(|e| PrepareError { message: format!("{name}/{tname}: {e}") })?;
+            compiled.push(Target {
+                name: tname.clone(),
+                sva: sva.clone(),
+                prop: Property::new(tname.clone(), prop.ok),
+            });
+        }
+        Ok(PreparedDesign { name, rtl, spec, ctx, ts, targets: compiled })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RTL: &str = r#"
+module counter (input clk, rst, output logic [7:0] c);
+  always_ff @(posedge clk) begin
+    if (rst) c <= '0;
+    else c <= c + 8'd1;
+  end
+endmodule
+"#;
+
+    #[test]
+    fn prepares_design_with_targets() {
+        let d = PreparedDesign::new(
+            "counter",
+            RTL,
+            "a free-running counter",
+            &[("tauto".to_string(), "c == c".to_string())],
+        )
+        .unwrap();
+        assert_eq!(d.targets.len(), 1);
+        assert_eq!(d.ts.states().len(), 1);
+    }
+
+    #[test]
+    fn reports_bad_rtl() {
+        let err = PreparedDesign::new("x", "module ((", "s", &[]).unwrap_err();
+        assert!(err.to_string().contains("x:"));
+    }
+
+    #[test]
+    fn reports_bad_target() {
+        let err = PreparedDesign::new(
+            "counter",
+            RTL,
+            "spec",
+            &[("bad".to_string(), "nonexistent_signal == 1".to_string())],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown signal"), "{err}");
+    }
+}

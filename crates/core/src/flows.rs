@@ -1,0 +1,571 @@
+//! The paper's two GenAI-augmented verification flows.
+//!
+//! * [`run_flow1`] (paper Fig. 1): specification + RTL → LLM → helper
+//!   assertions → validate/prove → use as assumptions for the target
+//!   properties.
+//! * [`run_flow2`] (paper Fig. 2): k-induction attempt → on inductive-step
+//!   failure, render the CEX waveform into a prompt → LLM → candidate
+//!   invariants → validate → retry, up to an iteration budget.
+//!
+//! Both flows record a full [`FlowMetrics`] (LLM calls, token counts,
+//! candidate fates, proof effort) and an event log for human inspection.
+
+use crate::design::PreparedDesign;
+use crate::houdini::validate_batch;
+use crate::validate::{install_lemma, Candidate, Lemma, ValidateConfig, ValidationOutcome};
+use genfv_genai::{LanguageModel, Prompt};
+use genfv_mc::{render_waveform, CheckConfig, KInduction, ProveResult, Trace};
+use genfv_sva::parse_assertions;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Counters describing one flow run.
+#[derive(Clone, Debug, Default)]
+pub struct FlowMetrics {
+    /// LLM round trips.
+    pub llm_calls: usize,
+    /// Prompt tokens sent (estimated).
+    pub prompt_tokens: usize,
+    /// Completion tokens received (estimated).
+    pub completion_tokens: usize,
+    /// Simulated LLM latency total.
+    pub llm_latency: Duration,
+    /// Assertion blocks successfully parsed out of completions.
+    pub candidates_parsed: usize,
+    /// Completion text regions that failed assertion parsing.
+    pub candidates_unparseable: usize,
+    /// Candidates rejected at compile (phantom signals etc.).
+    pub rejected_compile: usize,
+    /// Candidates disproven by BMC (false invariants).
+    pub rejected_false: usize,
+    /// Candidates that never became inductive.
+    pub rejected_not_inductive: usize,
+    /// Lemmas accepted (proven invariants).
+    pub lemmas_accepted: usize,
+    /// Flow-2 repair iterations used.
+    pub iterations: usize,
+    /// Wall-clock spent in SAT-based checking.
+    pub proof_time: Duration,
+    /// Total wall clock for the flow.
+    pub total_time: Duration,
+}
+
+/// Outcome for one target property.
+#[derive(Clone, Debug)]
+pub enum TargetOutcome {
+    /// Proven (depth, with or without lemmas).
+    Proven {
+        /// Induction depth.
+        k: usize,
+        /// Number of lemmas assumed for the winning attempt.
+        lemmas_used: usize,
+    },
+    /// Real counterexample found.
+    Falsified {
+        /// Violation cycle.
+        at: usize,
+    },
+    /// Still failing its induction step after all iterations; the last
+    /// step CEX is kept for inspection.
+    StillUnproven {
+        /// Last attempted depth.
+        k: usize,
+        /// Last induction-step counterexample.
+        trace: Box<Trace>,
+    },
+    /// Budget exhausted.
+    Unknown {
+        /// Reason.
+        reason: String,
+    },
+}
+
+impl TargetOutcome {
+    /// Whether the target was proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, TargetOutcome::Proven { .. })
+    }
+}
+
+/// Per-target report.
+#[derive(Clone, Debug)]
+pub struct TargetReport {
+    /// Target name.
+    pub name: String,
+    /// Final outcome.
+    pub outcome: TargetOutcome,
+}
+
+/// Complete result of a flow run.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// Model used.
+    pub model: String,
+    /// Per-target outcomes.
+    pub targets: Vec<TargetReport>,
+    /// Accepted lemmas.
+    pub lemmas: Vec<Lemma>,
+    /// Aggregate metrics.
+    pub metrics: FlowMetrics,
+    /// Human-readable event log.
+    pub events: Vec<String>,
+}
+
+impl FlowReport {
+    /// Whether every target was proven.
+    pub fn all_proven(&self) -> bool {
+        self.targets.iter().all(|t| t.outcome.is_proven())
+    }
+}
+
+/// Flow configuration.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Induction settings for target proofs.
+    pub check: CheckConfig,
+    /// Candidate-validation settings.
+    pub validate: ValidateConfig,
+    /// Maximum LLM repair iterations (Flow 2).
+    pub max_iterations: usize,
+    /// Run Houdini over individually-non-inductive candidates.
+    pub use_houdini: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            check: CheckConfig { max_k: 4, ..Default::default() },
+            validate: ValidateConfig::default(),
+            max_iterations: 4,
+            use_houdini: true,
+        }
+    }
+}
+
+/// Extracts candidates from a completion, numbering anonymous ones.
+fn candidates_from_completion(text: &str) -> Vec<Candidate> {
+    let assertions = parse_assertions(text);
+    assertions
+        .into_iter()
+        .enumerate()
+        .map(|(i, assertion)| {
+            let name =
+                assertion.name.clone().unwrap_or_else(|| format!("candidate_{i}"));
+            // Canonical text reconstructed from the AST: reports can quote
+            // the lemma, and re-parsing it yields the same assertion.
+            let text = genfv_sva::render_prop_body(&assertion.body);
+            Candidate { name, text, assertion }
+        })
+        .collect()
+}
+
+/// Counts the `property` blocks in a completion that did *not* yield a
+/// parseable assertion (hallucinated syntax).
+fn unparseable_regions(text: &str, parsed: usize) -> usize {
+    let mentions = text.matches("property ").count();
+    // Each parsed property consumed one `property ... endproperty` pair
+    // (bare `assert property` one-liners also contain "property ").
+    mentions.saturating_sub(parsed).min(mentions)
+}
+
+fn ingest_candidates(
+    design: &mut PreparedDesign,
+    lemmas: &mut Vec<Lemma>,
+    candidates: &[Candidate],
+    config: &FlowConfig,
+    metrics: &mut FlowMetrics,
+    events: &mut Vec<String>,
+) {
+    let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
+    let t0 = Instant::now();
+    let (accepted, outcomes) = validate_batch(
+        design,
+        &lemma_exprs,
+        candidates,
+        &config.validate,
+        config.use_houdini,
+    );
+    metrics.proof_time += t0.elapsed();
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            ValidationOutcome::CompileRejected(msg) => {
+                metrics.rejected_compile += 1;
+                events.push(format!("  ✗ {}: compile rejected ({msg})", candidates[i].name));
+            }
+            ValidationOutcome::FalseByBmc { at } => {
+                metrics.rejected_false += 1;
+                events.push(format!(
+                    "  ✗ {}: disproven by BMC at cycle {at} (hallucinated invariant)",
+                    candidates[i].name
+                ));
+            }
+            ValidationOutcome::NotInductiveAlone if !accepted.contains(&i) => {
+                metrics.rejected_not_inductive += 1;
+                events.push(format!("  ~ {}: true-looking but not inductive", candidates[i].name));
+            }
+            ValidationOutcome::Unknown(reason) => {
+                metrics.rejected_not_inductive += 1;
+                events.push(format!("  ? {}: {reason}", candidates[i].name));
+            }
+            _ => {}
+        }
+    }
+    for &i in &accepted {
+        match install_lemma(design, &candidates[i]) {
+            Ok(lemma) => {
+                events.push(format!("  ✓ {}: proven, installed as lemma", lemma.name));
+                metrics.lemmas_accepted += 1;
+                lemmas.push(lemma);
+            }
+            Err(e) => events.push(format!("  ! {}: install failed: {e}", candidates[i].name)),
+        }
+    }
+}
+
+/// Runs the paper's Flow 1 (Fig. 1): upfront helper-assertion generation
+/// from specification + RTL, then target proofs with the accepted lemmas.
+pub fn run_flow1(
+    mut design: PreparedDesign,
+    llm: &mut dyn LanguageModel,
+    config: &FlowConfig,
+) -> FlowReport {
+    let start = Instant::now();
+    let mut metrics = FlowMetrics::default();
+    let mut events = Vec::new();
+    let mut lemmas: Vec<Lemma> = Vec::new();
+
+    let targets_sva: Vec<String> = design.targets.iter().map(|t| t.sva.clone()).collect();
+    let prompt = Prompt::flow1(&design.spec, &design.rtl, &targets_sva);
+    events.push(format!("[flow1] prompting {} ({} tokens)", llm.name(), prompt.token_estimate()));
+    let completion = llm.complete(&prompt);
+    metrics.llm_calls += 1;
+    metrics.prompt_tokens += completion.prompt_tokens;
+    metrics.completion_tokens += completion.completion_tokens;
+    metrics.llm_latency += completion.latency;
+
+    let candidates = candidates_from_completion(&completion.text);
+    metrics.candidates_parsed += candidates.len();
+    metrics.candidates_unparseable += unparseable_regions(&completion.text, candidates.len());
+    events.push(format!(
+        "[flow1] completion: {} candidates parsed, {} malformed regions",
+        candidates.len(),
+        metrics.candidates_unparseable
+    ));
+    ingest_candidates(&mut design, &mut lemmas, &candidates, config, &mut metrics, &mut events);
+
+    // Prove targets with the accepted lemmas.
+    let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
+    let mut target_reports = Vec::new();
+    let targets = design.targets.clone();
+    for target in &targets {
+        let t0 = Instant::now();
+        let prover = KInduction::new(&design.ctx, &design.ts, config.check.clone());
+        let res = prover.prove(&target.prop, &lemma_exprs);
+        metrics.proof_time += t0.elapsed();
+        let outcome = match res {
+            ProveResult::Proven { k, .. } => {
+                events.push(format!("[flow1] target `{}` proven at k={k}", target.name));
+                TargetOutcome::Proven { k, lemmas_used: lemma_exprs.len() }
+            }
+            ProveResult::Falsified { at, .. } => {
+                events.push(format!("[flow1] target `{}` falsified at cycle {at}", target.name));
+                TargetOutcome::Falsified { at }
+            }
+            ProveResult::StepFailure { k, trace, .. } => {
+                events.push(format!("[flow1] target `{}` still fails step at k={k}", target.name));
+                TargetOutcome::StillUnproven { k, trace: Box::new(trace) }
+            }
+            ProveResult::Unknown { reason, .. } => TargetOutcome::Unknown { reason },
+        };
+        target_reports.push(TargetReport { name: target.name.clone(), outcome });
+    }
+
+    metrics.total_time = start.elapsed();
+    FlowReport {
+        design: design.name.clone(),
+        model: llm.name().to_string(),
+        targets: target_reports,
+        lemmas,
+        metrics,
+        events,
+    }
+}
+
+/// Runs the paper's Flow 2 (Fig. 2): CEX-driven induction repair for every
+/// target property.
+pub fn run_flow2(
+    mut design: PreparedDesign,
+    llm: &mut dyn LanguageModel,
+    config: &FlowConfig,
+) -> FlowReport {
+    let start = Instant::now();
+    let mut metrics = FlowMetrics::default();
+    let mut events = Vec::new();
+    let mut lemmas: Vec<Lemma> = Vec::new();
+    let mut target_reports = Vec::new();
+
+    let targets = design.targets.clone();
+    for target in &targets {
+        let mut outcome = None;
+        for iteration in 0..=config.max_iterations {
+            let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
+            let t0 = Instant::now();
+            let prover = KInduction::new(&design.ctx, &design.ts, config.check.clone());
+            let res = prover.prove(&target.prop, &lemma_exprs);
+            metrics.proof_time += t0.elapsed();
+            match res {
+                ProveResult::Proven { k, .. } => {
+                    events.push(format!(
+                        "[flow2] `{}` proven at k={k} after {iteration} repair iteration(s)",
+                        target.name
+                    ));
+                    outcome =
+                        Some(TargetOutcome::Proven { k, lemmas_used: lemma_exprs.len() });
+                    break;
+                }
+                ProveResult::Falsified { at, .. } => {
+                    events.push(format!("[flow2] `{}` falsified at cycle {at}", target.name));
+                    outcome = Some(TargetOutcome::Falsified { at });
+                    break;
+                }
+                ProveResult::Unknown { reason, .. } => {
+                    outcome = Some(TargetOutcome::Unknown { reason });
+                    break;
+                }
+                ProveResult::StepFailure { k, trace, .. } => {
+                    if iteration == config.max_iterations {
+                        events.push(format!(
+                            "[flow2] `{}` exhausted {} iterations, still failing at k={k}",
+                            target.name, config.max_iterations
+                        ));
+                        outcome =
+                            Some(TargetOutcome::StillUnproven { k, trace: Box::new(trace) });
+                        break;
+                    }
+                    metrics.iterations += 1;
+                    events.push(format!(
+                        "[flow2] `{}` induction step failed at k={k}; consulting {}",
+                        target.name,
+                        llm.name()
+                    ));
+                    // Render the CEX into the prompt (paper Fig. 2 inputs).
+                    let waveform = render_waveform(&trace);
+                    let final_values: BTreeMap<String, String> = trace
+                        .last_step()
+                        .map(|s| {
+                            s.values
+                                .iter()
+                                .map(|(k, v)| (k.clone(), format!("{v}")))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let prompt =
+                        Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
+                    let completion = llm.complete(&prompt);
+                    metrics.llm_calls += 1;
+                    metrics.prompt_tokens += completion.prompt_tokens;
+                    metrics.completion_tokens += completion.completion_tokens;
+                    metrics.llm_latency += completion.latency;
+
+                    let candidates = candidates_from_completion(&completion.text);
+                    metrics.candidates_parsed += candidates.len();
+                    metrics.candidates_unparseable +=
+                        unparseable_regions(&completion.text, candidates.len());
+                    events.push(format!(
+                        "[flow2]   {} candidates parsed from completion",
+                        candidates.len()
+                    ));
+                    let before = lemmas.len();
+                    ingest_candidates(
+                        &mut design,
+                        &mut lemmas,
+                        &candidates,
+                        config,
+                        &mut metrics,
+                        &mut events,
+                    );
+                    if lemmas.len() == before {
+                        events.push(format!(
+                            "[flow2]   no new lemmas accepted in iteration {iteration}; retrying"
+                        ));
+                    }
+                }
+            }
+        }
+        target_reports.push(TargetReport {
+            name: target.name.clone(),
+            outcome: outcome.unwrap_or(TargetOutcome::Unknown {
+                reason: "no iterations executed".to_string(),
+            }),
+        });
+    }
+
+    metrics.total_time = start.elapsed();
+    FlowReport {
+        design: design.name.clone(),
+        model: llm.name().to_string(),
+        targets: target_reports,
+        lemmas,
+        metrics,
+        events,
+    }
+}
+
+/// Baseline: plain k-induction with no GenAI assistance (for the
+/// with/without comparisons of experiment E4).
+pub fn run_baseline(design: &PreparedDesign, config: &FlowConfig) -> FlowReport {
+    let start = Instant::now();
+    let mut metrics = FlowMetrics::default();
+    let mut events = Vec::new();
+    let mut target_reports = Vec::new();
+    for target in &design.targets {
+        let t0 = Instant::now();
+        let prover = KInduction::new(&design.ctx, &design.ts, config.check.clone());
+        let res = prover.prove(&target.prop, &[]);
+        metrics.proof_time += t0.elapsed();
+        let outcome = match res {
+            ProveResult::Proven { k, .. } => {
+                events.push(format!("[baseline] `{}` proven at k={k}", target.name));
+                TargetOutcome::Proven { k, lemmas_used: 0 }
+            }
+            ProveResult::Falsified { at, .. } => TargetOutcome::Falsified { at },
+            ProveResult::StepFailure { k, trace, .. } => {
+                events.push(format!("[baseline] `{}` fails step at k={k}", target.name));
+                TargetOutcome::StillUnproven { k, trace: Box::new(trace) }
+            }
+            ProveResult::Unknown { reason, .. } => TargetOutcome::Unknown { reason },
+        };
+        target_reports.push(TargetReport { name: target.name.clone(), outcome });
+    }
+    metrics.total_time = start.elapsed();
+    FlowReport {
+        design: design.name.clone(),
+        model: "none (baseline)".to_string(),
+        targets: target_reports,
+        lemmas: Vec::new(),
+        metrics,
+        events,
+    }
+}
+
+/// Runs both flows the way the paper describes using them together
+/// ("We utilized both flows"): Flow 1 generates upfront lemmas from the
+/// specification and RTL, then Flow 2's CEX-driven repair loop handles any
+/// target that still fails its induction step. The returned report carries
+/// the union of accepted lemmas and the merged metrics.
+pub fn run_combined(
+    design: PreparedDesign,
+    llm: &mut dyn LanguageModel,
+    config: &FlowConfig,
+) -> FlowReport {
+    let start = Instant::now();
+    let mut metrics = FlowMetrics::default();
+    let mut events = Vec::new();
+    let mut lemmas: Vec<Lemma> = Vec::new();
+
+    // --- Flow 1 phase: one upfront prompt. ---------------------------------
+    let mut design = design;
+    let targets_sva: Vec<String> = design.targets.iter().map(|t| t.sva.clone()).collect();
+    let prompt = Prompt::flow1(&design.spec, &design.rtl, &targets_sva);
+    events.push(format!("[combined] flow-1 phase: prompting {}", llm.name()));
+    let completion = llm.complete(&prompt);
+    metrics.llm_calls += 1;
+    metrics.prompt_tokens += completion.prompt_tokens;
+    metrics.completion_tokens += completion.completion_tokens;
+    metrics.llm_latency += completion.latency;
+    let candidates = candidates_from_completion(&completion.text);
+    metrics.candidates_parsed += candidates.len();
+    metrics.candidates_unparseable += unparseable_regions(&completion.text, candidates.len());
+    ingest_candidates(&mut design, &mut lemmas, &candidates, config, &mut metrics, &mut events);
+
+    // --- Flow 2 phase: repair whatever still fails. -------------------------
+    let mut target_reports = Vec::new();
+    let targets = design.targets.clone();
+    for target in &targets {
+        let mut outcome = None;
+        for iteration in 0..=config.max_iterations {
+            let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
+            let t0 = Instant::now();
+            let prover = KInduction::new(&design.ctx, &design.ts, config.check.clone());
+            let res = prover.prove(&target.prop, &lemma_exprs);
+            metrics.proof_time += t0.elapsed();
+            match res {
+                ProveResult::Proven { k, .. } => {
+                    events.push(format!(
+                        "[combined] `{}` proven at k={k} ({} lemmas, {iteration} repair \
+                         iterations)",
+                        target.name,
+                        lemma_exprs.len()
+                    ));
+                    outcome = Some(TargetOutcome::Proven { k, lemmas_used: lemma_exprs.len() });
+                    break;
+                }
+                ProveResult::Falsified { at, .. } => {
+                    outcome = Some(TargetOutcome::Falsified { at });
+                    break;
+                }
+                ProveResult::Unknown { reason, .. } => {
+                    outcome = Some(TargetOutcome::Unknown { reason });
+                    break;
+                }
+                ProveResult::StepFailure { k, trace, .. } => {
+                    if iteration == config.max_iterations {
+                        outcome =
+                            Some(TargetOutcome::StillUnproven { k, trace: Box::new(trace) });
+                        break;
+                    }
+                    metrics.iterations += 1;
+                    events.push(format!(
+                        "[combined] `{}` still fails at k={k}; flow-2 repair with {}",
+                        target.name,
+                        llm.name()
+                    ));
+                    let waveform = render_waveform(&trace);
+                    let final_values: BTreeMap<String, String> = trace
+                        .last_step()
+                        .map(|s| {
+                            s.values.iter().map(|(k, v)| (k.clone(), format!("{v}"))).collect()
+                        })
+                        .unwrap_or_default();
+                    let prompt =
+                        Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
+                    let completion = llm.complete(&prompt);
+                    metrics.llm_calls += 1;
+                    metrics.prompt_tokens += completion.prompt_tokens;
+                    metrics.completion_tokens += completion.completion_tokens;
+                    metrics.llm_latency += completion.latency;
+                    let candidates = candidates_from_completion(&completion.text);
+                    metrics.candidates_parsed += candidates.len();
+                    metrics.candidates_unparseable +=
+                        unparseable_regions(&completion.text, candidates.len());
+                    ingest_candidates(
+                        &mut design,
+                        &mut lemmas,
+                        &candidates,
+                        config,
+                        &mut metrics,
+                        &mut events,
+                    );
+                }
+            }
+        }
+        target_reports.push(TargetReport {
+            name: target.name.clone(),
+            outcome: outcome.unwrap_or(TargetOutcome::Unknown {
+                reason: "no iterations executed".to_string(),
+            }),
+        });
+    }
+
+    metrics.total_time = start.elapsed();
+    FlowReport {
+        design: design.name.clone(),
+        model: llm.name().to_string(),
+        targets: target_reports,
+        lemmas,
+        metrics,
+        events,
+    }
+}

@@ -1,0 +1,273 @@
+//! Houdini-style joint inductive filtering.
+//!
+//! Individually non-inductive candidates can still be *mutually* inductive
+//! (each one's step case needs the others as hypotheses). The classic
+//! Houdini algorithm finds the unique maximal inductive subset of a
+//! candidate conjunction: repeatedly drop every candidate falsified in
+//! some step-case model until the remainder is inductive. Combined with a
+//! base-case (BMC) check per candidate, every survivor is a proven
+//! invariant and may be used as a lemma.
+
+use crate::design::PreparedDesign;
+use crate::validate::{Candidate, ValidateConfig, ValidationOutcome};
+use genfv_ir::ExprRef;
+use genfv_mc::{bmc, BmcResult, CheckConfig, Property, Unroller};
+use genfv_sat::SolveResult;
+use genfv_sva::PropertyCompiler;
+
+/// Result of a Houdini run.
+#[derive(Clone, Debug, Default)]
+pub struct HoudiniResult {
+    /// Indices (into the input slice) of candidates in the maximal
+    /// mutually-inductive subset.
+    pub accepted: Vec<usize>,
+    /// Number of strengthening iterations performed.
+    pub iterations: usize,
+    /// Solver queries issued.
+    pub solver_calls: usize,
+}
+
+/// Runs Houdini over `candidates` on a clone of the design.
+///
+/// `proven_lemmas` are assumed throughout. Candidates that fail to compile
+/// or fail the base case are dropped before the fixpoint loop. The
+/// returned indices refer to the input slice.
+pub fn houdini(
+    design: &PreparedDesign,
+    proven_lemmas: &[ExprRef],
+    candidates: &[Candidate],
+    config: &ValidateConfig,
+) -> HoudiniResult {
+    let mut result = HoudiniResult::default();
+    if candidates.is_empty() {
+        return result;
+    }
+
+    // Compile all candidates on one clone (they may share monitor state).
+    let mut ctx = design.ctx.clone();
+    let mut ts = design.ts.clone();
+    let mut exprs: Vec<Option<ExprRef>> = Vec::with_capacity(candidates.len());
+    {
+        let mut pc = PropertyCompiler::new(&mut ctx, &mut ts);
+        for cand in candidates {
+            exprs.push(pc.compile(&cand.assertion).ok().map(|c| c.ok));
+        }
+    }
+
+    // Base case: each candidate must have no reachable violation within
+    // the sanity bound.
+    let mut alive: Vec<usize> = Vec::new();
+    for (i, expr) in exprs.iter().enumerate() {
+        let Some(e) = expr else { continue };
+        let prop = Property::new(candidates[i].name.clone(), *e);
+        match bmc(&ctx, &ts, &prop, proven_lemmas, config.bmc_depth, &config.check) {
+            BmcResult::Clean { .. } => alive.push(i),
+            BmcResult::Falsified { .. } => {}
+        }
+        result.solver_calls += 1;
+    }
+
+    // Step fixpoint at k = 1: assume all alive at frame 0 (plus lemmas at
+    // both frames), require each alive at frame 1.
+    let step_cfg = CheckConfig { ..config.check.clone() };
+    loop {
+        result.iterations += 1;
+        if alive.is_empty() {
+            break;
+        }
+        let mut unroller = Unroller::new(&ctx, &ts, false);
+        unroller.ensure_frame(1);
+        for &l in proven_lemmas {
+            let l0 = unroller.lit_at(0, l);
+            unroller.blaster_mut().assert_lit(l0);
+            let l1 = unroller.lit_at(1, l);
+            unroller.blaster_mut().assert_lit(l1);
+        }
+        let lits0: Vec<_> = alive
+            .iter()
+            .map(|&i| unroller.lit_at(0, exprs[i].expect("alive implies compiled")))
+            .collect();
+        let lits1: Vec<_> = alive
+            .iter()
+            .map(|&i| unroller.lit_at(1, exprs[i].expect("alive implies compiled")))
+            .collect();
+
+        let mut dropped_any = false;
+        let mut still_alive = alive.clone();
+        for (pos, &_cand_idx) in alive.iter().enumerate() {
+            // Skip candidates already dropped in this sweep.
+            if !still_alive.contains(&alive[pos]) {
+                continue;
+            }
+            let mut assumptions = Vec::with_capacity(lits0.len() + 1);
+            for (p, &l0) in lits0.iter().enumerate() {
+                if still_alive.contains(&alive[p]) {
+                    assumptions.push(l0);
+                }
+            }
+            assumptions.push(!lits1[pos]);
+            if let Some(b) = step_cfg.conflict_budget {
+                unroller.blaster_mut().solver_mut().set_conflict_budget(b);
+            }
+            result.solver_calls += 1;
+            match unroller.blaster_mut().solve_with_assumptions(&assumptions) {
+                SolveResult::Sat => {
+                    // Drop every candidate falsified at frame 1 in this
+                    // model (standard Houdini acceleration).
+                    let model_false: Vec<usize> = alive
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| {
+                            still_alive.contains(&alive[p])
+                                && unroller.blaster().solver().value(lits1[p]) == Some(false)
+                        })
+                        .map(|(_, &i)| i)
+                        .collect();
+                    debug_assert!(!model_false.is_empty());
+                    still_alive.retain(|i| !model_false.contains(i));
+                    dropped_any = true;
+                }
+                SolveResult::Unsat => {}
+                SolveResult::Unknown => {
+                    // Budget pressure: drop conservatively.
+                    still_alive.retain(|&i| i != alive[pos]);
+                    dropped_any = true;
+                }
+            }
+        }
+        alive = still_alive;
+        if !dropped_any {
+            break;
+        }
+    }
+
+    result.accepted = alive;
+    result
+}
+
+/// Convenience: validates a batch with individual induction first, then
+/// Houdini over the stragglers. Returns `(accepted_indices, outcomes)`.
+pub fn validate_batch(
+    design: &PreparedDesign,
+    proven_lemmas: &[ExprRef],
+    candidates: &[Candidate],
+    config: &ValidateConfig,
+    use_houdini: bool,
+) -> (Vec<usize>, Vec<ValidationOutcome>) {
+    let mut outcomes = Vec::with_capacity(candidates.len());
+    let mut accepted = Vec::new();
+    let mut parked: Vec<usize> = Vec::new();
+    for (i, cand) in candidates.iter().enumerate() {
+        let out = crate::validate::validate_candidate(design, proven_lemmas, cand, config);
+        if out.is_proven() {
+            accepted.push(i);
+        } else if out == ValidationOutcome::NotInductiveAlone {
+            parked.push(i);
+        }
+        outcomes.push(out);
+    }
+    if use_houdini && !parked.is_empty() {
+        // Pool the stragglers together with the individually-proven
+        // candidates: mutual induction may need them as hypotheses.
+        // Individually-inductive members always survive Houdini, so this
+        // cannot lose accepted candidates.
+        let pool_indices: Vec<usize> =
+            accepted.iter().chain(parked.iter()).copied().collect();
+        let pool: Vec<Candidate> =
+            pool_indices.iter().map(|&i| candidates[i].clone()).collect();
+        let hres = houdini(design, proven_lemmas, &pool, config);
+        for &pool_idx in &hres.accepted {
+            let orig = pool_indices[pool_idx];
+            if !accepted.contains(&orig) {
+                accepted.push(orig);
+                outcomes[orig] = ValidationOutcome::ProvenInductive { k: 1 };
+            }
+        }
+    }
+    accepted.sort_unstable();
+    (accepted, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genfv_sva::parse_assertion;
+
+    fn cand(text: &str) -> Candidate {
+        Candidate {
+            name: format!("c_{}", text.len()),
+            text: text.to_string(),
+            assertion: parse_assertion(text).unwrap(),
+        }
+    }
+
+    /// Two counters where neither bound is inductive alone but the pair is:
+    /// a and b increment in lockstep mod 4 using each other's values.
+    fn mutually_inductive_design() -> PreparedDesign {
+        let rtl = r#"
+module pair (input clk, rst, output logic [3:0] a, b);
+  always_ff @(posedge clk) begin
+    if (rst) begin a <= 4'd0; b <= 4'd0; end
+    else begin a <= b + 4'd1; b <= a + 4'd1; end
+  end
+endmodule
+"#;
+        PreparedDesign::new("pair", rtl, "mutual counters", &[]).unwrap()
+    }
+
+    #[test]
+    fn houdini_keeps_mutually_inductive_pair() {
+        let d = mutually_inductive_design();
+        // a == b is inductive alone here; craft a genuinely mutual pair:
+        // p1: a == b, p2: &a |-> &b. p2 needs p1.
+        let cands = vec![cand("a == b"), cand("&a |-> &b")];
+        let res = houdini(&d, &[], &cands, &Default::default());
+        assert_eq!(res.accepted, vec![0, 1], "both survive jointly");
+    }
+
+    #[test]
+    fn houdini_drops_false_members() {
+        let d = mutually_inductive_design();
+        let cands = vec![
+            cand("a == b"),
+            cand("a != b"),  // false from reset: base case kills it
+            cand("a < 4'd3"), // false eventually
+        ];
+        let res = houdini(&d, &[], &cands, &Default::default());
+        assert_eq!(res.accepted, vec![0]);
+    }
+
+    #[test]
+    fn houdini_drops_non_inductive_junk_but_keeps_core() {
+        let d = mutually_inductive_design();
+        let cands = vec![
+            cand("&a |-> &b"), // needs a==b, which is absent: dropped
+        ];
+        let res = houdini(&d, &[], &cands, &Default::default());
+        assert!(res.accepted.is_empty(), "alone it is not inductive: {res:?}");
+    }
+
+    #[test]
+    fn validate_batch_combines_individual_and_houdini() {
+        let d = mutually_inductive_design();
+        let cands = vec![
+            cand("a == b"),          // proves alone
+            cand("&a |-> &b"),       // proves only via Houdini with #0
+            cand("a == b_typo_sig"), // compile reject
+            cand("a != b"),          // false
+        ];
+        let (accepted, outcomes) = validate_batch(&d, &[], &cands, &Default::default(), true);
+        assert_eq!(accepted, vec![0, 1]);
+        assert!(matches!(outcomes[2], ValidationOutcome::CompileRejected(_)));
+        assert!(matches!(outcomes[3], ValidationOutcome::FalseByBmc { .. }));
+    }
+
+    #[test]
+    fn validate_batch_without_houdini_parks_stragglers() {
+        let d = mutually_inductive_design();
+        let cands = vec![cand("a == b"), cand("&a |-> &b")];
+        let (accepted, outcomes) = validate_batch(&d, &[], &cands, &Default::default(), false);
+        assert_eq!(accepted, vec![0]);
+        assert_eq!(outcomes[1], ValidationOutcome::NotInductiveAlone);
+    }
+}

@@ -1,0 +1,60 @@
+//! # genfv-core — GenAI-augmented induction-based formal verification
+//!
+//! The primary contribution of the reproduced paper, as a library:
+//!
+//! * [`run_flow1`] — paper Fig. 1: an LLM reads the specification and the
+//!   RTL and proposes helper assertions; proven ones become assumptions
+//!   that accelerate/enable the target-property proofs.
+//! * [`run_flow2`] — paper Fig. 2: when a k-induction step fails, the CEX
+//!   waveform plus the RTL are rendered into a prompt; the LLM's candidate
+//!   invariants are validated and the proof retried, in a bounded repair
+//!   loop.
+//! * [`run_baseline`] — plain k-induction, for with/without comparisons.
+//!
+//! **Soundness boundary.** Model output is untrusted text. Candidates are
+//! parsed ([`genfv_sva::parse_assertions`]), compiled (phantom signals
+//! rejected), BMC-sanity-checked (false invariants rejected with a
+//! counterexample), and finally proven by induction — individually or
+//! jointly via [`houdini()`] — before they may strengthen any proof. A
+//! hallucinated assertion can waste time but can never taint a result,
+//! mechanising the paper's "analyze the output from the LLM before using
+//! it productively" guidance.
+//!
+//! ```no_run
+//! use genfv_core::{PreparedDesign, run_flow2, FlowConfig};
+//! use genfv_genai::{SyntheticLlm, ModelProfile};
+//!
+//! let design = PreparedDesign::new(
+//!     "sync_counters",
+//!     RTL,
+//!     "Two counters incremented in lockstep; they always hold equal values.",
+//!     &[("equal_count".into(), "&count1 |-> &count2".into())],
+//! )?;
+//! let mut llm = SyntheticLlm::new(ModelProfile::GptFourTurbo, 42);
+//! let report = run_flow2(design, &mut llm, &FlowConfig::default());
+//! assert!(report.all_proven());
+//! # const RTL: &str = "";
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod flows;
+pub mod houdini;
+pub mod parallel;
+pub mod report;
+pub mod validate;
+
+pub use design::{PreparedDesign, PrepareError, Target};
+pub use flows::{
+    run_baseline, run_combined, run_flow1, run_flow2, FlowConfig, FlowMetrics, FlowReport,
+    TargetOutcome, TargetReport,
+};
+pub use houdini::{houdini, validate_batch, HoudiniResult};
+pub use parallel::validate_parallel;
+pub use report::{render_events, render_report, summarize_targets, Table};
+pub use validate::{
+    install_lemma, validate_candidate, Candidate, Lemma, ValidateConfig, ValidationOutcome,
+};

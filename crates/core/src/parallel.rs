@@ -1,0 +1,116 @@
+//! Parallel candidate validation.
+//!
+//! Candidate lemmas are independent until acceptance (each is validated
+//! against a clone of the design), so the validation stage parallelises
+//! embarrassingly. This module fans the per-candidate work out over scoped
+//! crossbeam threads — the practical difference on multi-core hosts when a
+//! chatty model emits many candidates per completion.
+
+use crate::design::PreparedDesign;
+use crate::validate::{validate_candidate, Candidate, ValidateConfig, ValidationOutcome};
+use genfv_ir::ExprRef;
+
+/// Validates candidates concurrently; results are index-aligned with the
+/// input. Behaviour is identical to calling
+/// [`validate_candidate`] sequentially (validation is deterministic and
+/// side-effect free).
+pub fn validate_parallel(
+    design: &PreparedDesign,
+    proven_lemmas: &[ExprRef],
+    candidates: &[Candidate],
+    config: &ValidateConfig,
+) -> Vec<ValidationOutcome> {
+    if candidates.len() <= 1 {
+        return candidates
+            .iter()
+            .map(|c| validate_candidate(design, proven_lemmas, c, config))
+            .collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(candidates.len());
+
+    let mut outcomes: Vec<Option<ValidationOutcome>> = vec![None; candidates.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<ValidationOutcome>>> =
+        (0..candidates.len()).map(|_| std::sync::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= candidates.len() {
+                    break;
+                }
+                let out = validate_candidate(design, proven_lemmas, &candidates[i], config);
+                *slots[i].lock().expect("slot lock") = Some(out);
+            });
+        }
+    })
+    .expect("validation worker panicked");
+
+    for (i, slot) in slots.into_iter().enumerate() {
+        outcomes[i] = slot.into_inner().expect("slot lock");
+    }
+    outcomes.into_iter().map(|o| o.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genfv_sva::parse_assertion;
+
+    const SYNC: &str = r#"
+module sync_counters (input clk, rst, output logic [7:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 8'b0;
+      count2 <= 8'b0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+"#;
+
+    fn cand(text: &str) -> Candidate {
+        Candidate {
+            name: text.to_string(),
+            text: text.to_string(),
+            assertion: parse_assertion(text).unwrap(),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let design = PreparedDesign::new("sync", SYNC, "spec", &[]).unwrap();
+        let candidates = vec![
+            cand("count1 == count2"),
+            cand("count1 != count2"),
+            cand("count1 == phantom"),
+            cand("&count1 |-> &count2"),
+            cand("count2 == count1"),
+            cand("count1 < 8'd5"),
+        ];
+        let config = ValidateConfig::default();
+        let par = validate_parallel(&design, &[], &candidates, &config);
+        let seq: Vec<ValidationOutcome> = candidates
+            .iter()
+            .map(|c| validate_candidate(&design, &[], c, &config))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let design = PreparedDesign::new("sync", SYNC, "spec", &[]).unwrap();
+        let config = ValidateConfig::default();
+        assert!(validate_parallel(&design, &[], &[], &config).is_empty());
+        let one = vec![cand("count1 == count2")];
+        let out = validate_parallel(&design, &[], &one, &config);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_proven());
+    }
+}

@@ -1,0 +1,143 @@
+//! Control-logic designs: credit-based flow control, a watchdog timer,
+//! and a token-passing arbiter.
+
+use crate::{DesignBundle, Expectation};
+
+/// Credit-based flow control: credits move between the sender and the
+/// receiver but their sum is conserved. The sender-side bound is not
+/// inductive alone (an unreachable state with 200 sender credits keeps
+/// circulating them); it needs the conservation lemma
+/// `(snd + rcv) == TOTAL`.
+pub fn credit_flow() -> DesignBundle {
+    DesignBundle {
+        name: "credit_flow",
+        rtl: r#"
+module credit_flow (input clk, rst, input take, give,
+                    output logic [7:0] snd, rcv);
+  logic do_take, do_give;
+  assign do_take = take && snd != 8'd0;
+  assign do_give = give && rcv != 8'd0;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      snd <= 8'd8;
+      rcv <= 8'd0;
+    end else begin
+      snd <= snd - (do_take ? 8'd1 : 8'd0) + (do_give ? 8'd1 : 8'd0);
+      rcv <= rcv + (do_take ? 8'd1 : 8'd0) - (do_give ? 8'd1 : 8'd0);
+    end
+  end
+endmodule
+"#,
+        spec: "Credit-based flow control with eight credits in flight: taking a credit \
+               moves it from the sender pool to the receiver pool and giving one moves it \
+               back, so the two pools always sum to exactly eight and neither can exceed \
+               eight.",
+        targets: vec![(
+            "sender_bounded".to_string(),
+            "snd <= 8'd8".to_string(),
+        )],
+        expectation: Expectation::NeedsLemmas,
+    }
+}
+
+/// Watchdog timer with saturation and a sticky alarm; the alarm-accuracy
+/// property re-converges one cycle after any state, so k=2 closes it.
+pub fn watchdog() -> DesignBundle {
+    DesignBundle {
+        name: "watchdog",
+        rtl: r#"
+module watchdog (input clk, rst, input kick, output logic [7:0] count, output logic alarm);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      count <= '0;
+      alarm <= 1'b0;
+    end else if (kick) begin
+      count <= '0;
+    end else if (count != 8'd100) begin
+      count <= count + 8'd1;
+      alarm <= alarm || (count == 8'd99);
+    end
+  end
+endmodule
+"#,
+        spec: "A watchdog that counts up to 100 unless kicked; the counter saturates at \
+               100 and the sticky alarm latches when the timeout is reached. The counter \
+               never exceeds 100.",
+        targets: vec![("count_bounded".to_string(), "count <= 8'd100".to_string())],
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// Registered divider checked against the Euclidean identity
+/// `q*b + r == a` — exercises the restoring-division and multiplier
+/// circuits of the bit-blaster inside an induction proof.
+pub fn div_checker() -> DesignBundle {
+    DesignBundle {
+        name: "div_checker",
+        rtl: r#"
+module div_checker (input clk, rst, input [5:0] num, den,
+                    output logic [5:0] q, r, num_q, den_q);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      q <= '0;
+      r <= '0;
+      num_q <= '0;
+      den_q <= '0;
+    end else begin
+      q <= num / den;
+      r <= num % den;
+      num_q <= num;
+      den_q <= den;
+    end
+  end
+endmodule
+"#,
+        spec: "A registered unsigned divider: every cycle it latches the quotient and \
+               remainder of the incoming operands alongside the operands themselves. For \
+               a non-zero divisor the Euclidean identity q*den + r == num holds, and the \
+               remainder is smaller than the divisor.",
+        targets: vec![
+            (
+                "euclidean_identity".to_string(),
+                "den_q != 6'd0 |-> (q * den_q + r) == num_q".to_string(),
+            ),
+            (
+                "remainder_bounded".to_string(),
+                "den_q != 6'd0 |-> r < den_q".to_string(),
+            ),
+        ],
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// Two-master token arbiter: grants are sliced off a one-bit token, so
+/// mutual exclusion is combinationally guaranteed and proves at small k.
+pub fn token_arbiter() -> DesignBundle {
+    DesignBundle {
+        name: "token_arbiter",
+        rtl: r#"
+module token_arbiter (input clk, rst, input req_a, req_b,
+                      output logic gnt_a, gnt_b, output logic token);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      token <= 1'b0;
+      gnt_a <= 1'b0;
+      gnt_b <= 1'b0;
+    end else begin
+      gnt_a <= req_a && !token;
+      gnt_b <= req_b && token;
+      token <= !token;
+    end
+  end
+endmodule
+"#,
+        spec: "A two-master arbiter that alternates a token between masters every cycle; \
+               a master is granted only while it owns the token, so the two grants are \
+               never asserted together.",
+        targets: vec![(
+            "mutual_exclusion".to_string(),
+            "!(gnt_a && gnt_b)".to_string(),
+        )],
+        expectation: Expectation::ProvesUnaided,
+    }
+}

@@ -1,0 +1,194 @@
+//! Counter designs (the first half of the paper's evaluation corpus).
+
+use crate::{DesignBundle, Expectation};
+
+/// The paper's Listing 1 verbatim (32-bit synchronized counters) with the
+/// Listing-2 target property. The induction step fails without the
+/// Listing-3 helper — the central example of the paper.
+pub fn sync_counters() -> DesignBundle {
+    DesignBundle {
+        name: "sync_counters",
+        rtl: r#"
+module sync_counters (input clk, rst, output logic [31:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 32'b0;
+      count2 <= 32'b0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+"#,
+        spec: "Two synchronized 32-bit counters. Both reset to zero and increment together \
+               every cycle, so their values are always equal; in particular, whenever count1 \
+               is all ones, count2 must be all ones as well.",
+        targets: vec![(
+            "equal_count".to_string(),
+            "&count1 |-> &count2".to_string(),
+        )],
+        expectation: Expectation::NeedsLemmas,
+    }
+}
+
+/// A narrower (16-bit) variant used where SAT effort matters in sweeps.
+pub fn sync_counters_16() -> DesignBundle {
+    DesignBundle {
+        name: "sync_counters_16",
+        rtl: r#"
+module sync_counters_16 (input clk, rst, output logic [15:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 16'b0;
+      count2 <= 16'b0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+"#,
+        spec: "Two synchronized 16-bit counters incrementing in lockstep from a common reset.",
+        targets: vec![(
+            "equal_count".to_string(),
+            "&count1 |-> &count2".to_string(),
+        )],
+        expectation: Expectation::NeedsLemmas,
+    }
+}
+
+/// Counters separated by a constant offset: the needed lemma is an offset
+/// relation rather than plain equality.
+pub fn offset_counters() -> DesignBundle {
+    DesignBundle {
+        name: "offset_counters",
+        rtl: r#"
+module offset_counters (input clk, rst, output logic [15:0] lead, trail);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      lead  <= 16'd5;
+      trail <= 16'd0;
+    end else begin
+      lead  <= lead + 16'd1;
+      trail <= trail + 16'd1;
+    end
+  end
+endmodule
+"#,
+        spec: "Two counters where `lead` starts five ahead of `trail` and both increment \
+               every cycle; the distance stays exactly five forever.",
+        targets: vec![(
+            // Not inductive alone (a state with lead = trail = 0xFFFE is
+            // spuriously admissible); needs the offset lemma
+            // `(lead - trail) == 5`.
+            "never_both_full".to_string(),
+            "&lead |-> !(&trail)".to_string(),
+        )],
+        expectation: Expectation::NeedsLemmas,
+    }
+}
+
+/// Modulo-N counter: the target needs the range bound as a lemma.
+pub fn modn_counter() -> DesignBundle {
+    DesignBundle {
+        name: "modn_counter",
+        rtl: r#"
+module modn_counter (input clk, rst, output logic [7:0] cnt);
+  always_ff @(posedge clk) begin
+    if (rst) cnt <= '0;
+    else if (cnt == 8'd9) cnt <= '0;
+    else cnt <= cnt + 8'd1;
+  end
+endmodule
+"#,
+        spec: "A decade counter: counts 0 through 9 and wraps back to 0. The value never \
+               reaches 10 or beyond.",
+        targets: vec![(
+            "never_fifteen".to_string(),
+            "cnt != 8'd15".to_string(),
+        )],
+        expectation: Expectation::NeedsLemmas,
+    }
+}
+
+/// Up/down counter with saturation; the bounds are individually inductive.
+pub fn updown_counter() -> DesignBundle {
+    DesignBundle {
+        name: "updown_counter",
+        rtl: r#"
+module updown_counter (input clk, rst, input up, down, output logic [7:0] level);
+  always_ff @(posedge clk) begin
+    if (rst) level <= 8'd100;
+    else if (up && !down && level != 8'd200) level <= level + 8'd1;
+    else if (down && !up && level != 8'd0) level <= level - 8'd1;
+  end
+endmodule
+"#,
+        spec: "A level meter initialised to 100 that moves up or down by one inside the \
+               saturation bounds 0 and 200; it can never exceed 200.",
+        targets: vec![(
+            "bounded_above".to_string(),
+            "level <= 8'd200".to_string(),
+        )],
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// Binary counter with a registered Gray-code shadow; the target property
+/// (at most one Gray bit flips per cycle) proves at k=2 unaided, and at
+/// k=1 with the functional lemma `gray == bin ^ (bin >> 1)`.
+pub fn gray_counter() -> DesignBundle {
+    DesignBundle {
+        name: "gray_counter",
+        rtl: r#"
+module gray_counter (input clk, rst, output logic [7:0] bin, gray);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      bin  <= '0;
+      gray <= '0;
+    end else begin
+      bin  <= bin + 8'd1;
+      gray <= (bin + 8'd1) ^ ((bin + 8'd1) >> 1);
+    end
+  end
+endmodule
+"#,
+        spec: "A binary counter with a Gray-code shadow register: gray always equals \
+               bin XOR (bin >> 1), so consecutive gray values differ in exactly one bit.",
+        targets: vec![(
+            // One Gray bit flips per cycle.
+            "one_bit_per_step".to_string(),
+            "$countones(gray ^ $past(gray)) <= 1 || $past(rst)".to_string(),
+        )],
+        // gray is a pure function of the previous bin, so consistency is
+        // re-established after one transition: k=2 closes unaided, and the
+        // functional lemma `gray == bin ^ (bin >> 1)` lowers it to k=1.
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// A deliberately broken pair of counters (reachable divergence): flows
+/// must report the bug, not loop on lemma generation.
+pub fn desync_counters() -> DesignBundle {
+    DesignBundle {
+        name: "desync_counters",
+        rtl: r#"
+module desync_counters (input clk, rst, output logic [7:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 8'b0;
+      count2 <= 8'b0;
+    end else begin
+      count1 <= count1 + 8'd1;
+      count2 <= count2 + 8'd2;
+    end
+  end
+endmodule
+"#,
+        spec: "Two counters that are supposed to stay equal (they do not: the second \
+               increments by two — a seeded bug).",
+        targets: vec![("lockstep".to_string(), "count1 == count2".to_string())],
+        expectation: Expectation::HasRealBug,
+    }
+}

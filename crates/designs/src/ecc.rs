@@ -1,0 +1,259 @@
+//! Error-correcting-code designs (the second half of the paper's
+//! evaluation corpus: "The designs used were counters and ECC").
+//!
+//! The feed-forward pipelines (parity, Hamming(7,4), SEC-DED) regain
+//! register consistency one cycle after any start state, so plain
+//! induction closes them at k=2; their helper lemmas (functional pipeline
+//! invariants like `code_q == enc(data_q)`) lower the proof to k=1 — the
+//! paper's "faster proof for complex properties" effect. The
+//! *recirculating* [`ecc_counter`], by contrast, keeps an inconsistent
+//! state alive forever: its lockstep target fails the induction step at
+//! every depth until the redundancy lemma is supplied, exactly like the
+//! paper's synchronized counters. The functional-invariant pattern is the
+//! one that separates strong from weak model profiles in experiment E5.
+
+use crate::{DesignBundle, Expectation};
+
+/// Parity-protected register stage with an error flag.
+pub fn parity_pipe() -> DesignBundle {
+    DesignBundle {
+        name: "parity_pipe",
+        rtl: r#"
+module parity_pipe (input clk, rst, input [7:0] d, output logic [7:0] data_q,
+                    output logic par_q, output logic err_flag);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      data_q <= '0;
+      par_q <= 1'b0;
+      err_flag <= 1'b0;
+    end else begin
+      data_q <= d;
+      par_q <= ^d;
+      err_flag <= par_q ^ (^data_q);
+    end
+  end
+endmodule
+"#,
+        spec: "A register stage protected by even parity: par_q always holds the parity of \
+               data_q, so the checker flag err_flag never rises in fault-free operation.",
+        targets: vec![("no_false_alarm".to_string(), "err_flag == 1'b0".to_string())],
+        // The pipeline regains consistency one cycle after any start
+        // state, so plain induction closes at k=2; the parity lemma
+        // lowers it to k=1 (the paper's "faster proof" effect).
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// Hamming(7,4) single-error-correcting pipeline: encode → register →
+/// inject ≤1 bit error → register → decode. The headline ECC property:
+/// the decoder always returns the original data.
+pub fn hamming74() -> DesignBundle {
+    DesignBundle {
+        name: "hamming74",
+        rtl: r#"
+module hamming74 (input clk, rst, input [3:0] d, input [2:0] err_pos,
+                  output logic [3:0] dec_out, output logic [3:0] data_qq);
+  // Encoder (positions 1..7; p1,p2 at 1,2, d0 at 3, p3 at 4, d1..d3 at 5..7).
+  logic p1, p2, p3;
+  assign p1 = d[0] ^ d[1] ^ d[3];
+  assign p2 = d[0] ^ d[2] ^ d[3];
+  assign p3 = d[1] ^ d[2] ^ d[3];
+  logic [6:0] enc;
+  assign enc = {d[3], d[2], d[1], p3, d[0], p2, p1};
+
+  // Channel: err_pos = 0 means no error, 1..7 flips that codeword bit.
+  logic [6:0] flip;
+  assign flip = (err_pos == 3'd0) ? 7'd0 : (7'd1 << (err_pos - 3'd1));
+
+  // Two pipeline stages.
+  logic [3:0] data_q;
+  logic [6:0] code_q;
+  logic [6:0] recv_q;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      data_q <= '0;
+      code_q <= '0;
+      recv_q <= '0;
+      data_qq <= '0;
+    end else begin
+      data_q <= d;
+      code_q <= enc;
+      recv_q <= code_q ^ flip;
+      data_qq <= data_q;
+    end
+  end
+
+  // Decoder: syndrome points at the flipped position.
+  logic s1, s2, s3;
+  assign s1 = recv_q[0] ^ recv_q[2] ^ recv_q[4] ^ recv_q[6];
+  assign s2 = recv_q[1] ^ recv_q[2] ^ recv_q[5] ^ recv_q[6];
+  assign s3 = recv_q[3] ^ recv_q[4] ^ recv_q[5] ^ recv_q[6];
+  logic [2:0] syn;
+  assign syn = {s3, s2, s1};
+  logic [6:0] corr;
+  assign corr = (syn == 3'd0) ? recv_q : (recv_q ^ (7'd1 << (syn - 3'd1)));
+  assign dec_out = {corr[6], corr[5], corr[4], corr[2]};
+endmodule
+"#,
+        spec: "A Hamming(7,4) single-error-correcting pipeline. Data is encoded, the \
+               channel may flip at most one codeword bit per word (err_pos = 0 means no \
+               error), and the decoder corrects using the syndrome. The decoded nibble \
+               always equals the original data word travelling alongside in data_q/data_qq.",
+        targets: vec![(
+            "corrects_single_error".to_string(),
+            "dec_out == data_qq".to_string(),
+        )],
+        // Feed-forward pipeline: k=2 closes unaided; the functional lemma
+        // `code_q == enc(data_q)` closes it at k=1.
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// Hamming(8,4) SEC-DED pipeline: adds an overall parity bit; double
+/// errors raise `uncorr` instead of silently mis-correcting.
+pub fn secded84() -> DesignBundle {
+    DesignBundle {
+        name: "secded84",
+        rtl: r#"
+module secded84 (input clk, rst, input [3:0] d, input [3:0] e1, input [3:0] e2, input dbl,
+                 output logic [3:0] dec_out, output logic [3:0] data_qq,
+                 output logic uncorr, output logic dbl_q);
+  // Hamming(7,4) encoder plus overall parity bit at position 8.
+  logic p1, p2, p3;
+  assign p1 = d[0] ^ d[1] ^ d[3];
+  assign p2 = d[0] ^ d[2] ^ d[3];
+  assign p3 = d[1] ^ d[2] ^ d[3];
+  logic [6:0] enc7;
+  assign enc7 = {d[3], d[2], d[1], p3, d[0], p2, p1};
+  logic p0;
+  assign p0 = ^enc7;
+  logic [7:0] enc;
+  assign enc = {p0, enc7};
+
+  // Channel: e1 always available (0 = none, 1..8 = flip that bit); the
+  // second flip e2 only applies when dbl is asserted. Values above 8 act
+  // as no-error.
+  logic [7:0] flip1, flip2;
+  assign flip1 = (e1 == 4'd0) ? 8'd0 : (8'd1 << (e1 - 4'd1));
+  assign flip2 = (dbl && e2 != 4'd0) ? (8'd1 << (e2 - 4'd1)) : 8'd0;
+
+  logic [3:0] data_q;
+  logic [7:0] code_q;
+  logic [7:0] recv_q;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      data_q <= '0;
+      code_q <= '0;
+      recv_q <= '0;
+      data_qq <= '0;
+      dbl_q <= 1'b0;
+    end else begin
+      data_q <= d;
+      code_q <= enc;
+      recv_q <= code_q ^ flip1 ^ flip2;
+      data_qq <= data_q;
+      dbl_q <= dbl;
+    end
+  end
+
+  // Decoder with double-error detection.
+  logic s1, s2, s3;
+  assign s1 = recv_q[0] ^ recv_q[2] ^ recv_q[4] ^ recv_q[6];
+  assign s2 = recv_q[1] ^ recv_q[2] ^ recv_q[5] ^ recv_q[6];
+  assign s3 = recv_q[3] ^ recv_q[4] ^ recv_q[5] ^ recv_q[6];
+  logic [2:0] syn;
+  assign syn = {s3, s2, s1};
+  logic pchk;
+  assign pchk = ^recv_q;
+  assign uncorr = (syn != 3'd0) && (pchk == 1'b0);
+  logic [6:0] corr;
+  assign corr = (syn == 3'd0) ? recv_q[6:0] : (recv_q[6:0] ^ (7'd1 << (syn - 3'd1)));
+  assign dec_out = {corr[6], corr[5], corr[4], corr[2]};
+endmodule
+"#,
+        spec: "A Hamming SEC-DED (8,4) pipeline: single errors are corrected, double \
+               errors (second flip gated by dbl) raise the uncorrectable flag instead of \
+               silently mis-correcting. dbl_q remembers whether a double injection was \
+               attempted for the current word.",
+        targets: vec![
+            (
+                "flag_implies_double".to_string(),
+                // The uncorrectable flag only ever rises for words that had
+                // the double-error injection enabled.
+                "uncorr |-> dbl_q".to_string(),
+            ),
+            (
+                "corrects_unless_flagged".to_string(),
+                "!uncorr && !dbl_q |-> dec_out == data_qq".to_string(),
+            ),
+        ],
+        // Feed-forward SEC-DED pipeline: k=2 unaided, k=1 with the
+        // encoder lemma.
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// ECC-protected counter with per-cycle scrubbing: the counter value lives
+/// twice, as a plain register and as a Hamming(7,4) codeword that is
+/// decoded, incremented, re-encoded, and hit by at most one new bit error
+/// every cycle. Unlike the feed-forward pipelines, an inconsistent
+/// (count, code_q) pair persists forever, so the lockstep target fails its
+/// induction step at *every* depth until the redundancy lemma
+/// `dec_out == count` is supplied — the ECC counterpart of the paper's
+/// synchronized-counters example.
+pub fn ecc_counter() -> DesignBundle {
+    DesignBundle {
+        name: "ecc_counter",
+        rtl: r#"
+module ecc_counter (input clk, rst, input [2:0] err_pos,
+                    output logic [3:0] count, output logic [3:0] dec_out);
+  logic [6:0] code_q;
+
+  // Decoder-corrector for the stored codeword.
+  logic s1, s2, s3;
+  assign s1 = code_q[0] ^ code_q[2] ^ code_q[4] ^ code_q[6];
+  assign s2 = code_q[1] ^ code_q[2] ^ code_q[5] ^ code_q[6];
+  assign s3 = code_q[3] ^ code_q[4] ^ code_q[5] ^ code_q[6];
+  logic [2:0] syn;
+  assign syn = {s3, s2, s1};
+  logic [6:0] corr;
+  assign corr = (syn == 3'd0) ? code_q : (code_q ^ (7'd1 << (syn - 3'd1)));
+  assign dec_out = {corr[6], corr[5], corr[4], corr[2]};
+
+  // Re-encoder for the incremented value.
+  logic [3:0] nxt;
+  assign nxt = dec_out + 4'd1;
+  logic q1, q2, q3;
+  assign q1 = nxt[0] ^ nxt[1] ^ nxt[3];
+  assign q2 = nxt[0] ^ nxt[2] ^ nxt[3];
+  assign q3 = nxt[1] ^ nxt[2] ^ nxt[3];
+  logic [6:0] enc_nxt;
+  assign enc_nxt = {nxt[3], nxt[2], nxt[1], q3, nxt[0], q2, q1};
+
+  // Channel: at most one new bit error per cycle.
+  logic [6:0] flip;
+  assign flip = (err_pos == 3'd0) ? 7'd0 : (7'd1 << (err_pos - 3'd1));
+
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      count <= '0;
+      code_q <= '0;
+    end else begin
+      count <= count + 4'd1;
+      code_q <= enc_nxt ^ flip;
+    end
+  end
+endmodule
+"#,
+        spec: "A counter stored redundantly: once as a plain register and once as a \
+               Hamming(7,4) codeword that is corrected, incremented, re-encoded and \
+               possibly hit by one new bit error every cycle (scrubbing). The decoded \
+               value always equals the plain counter, so when the plain counter is all \
+               ones the decoded value is all ones too.",
+        targets: vec![(
+            "lockstep_with_ecc".to_string(),
+            "&count |-> &dec_out".to_string(),
+        )],
+        expectation: Expectation::NeedsLemmas,
+    }
+}

@@ -1,0 +1,49 @@
+//! Synchronous FIFO occupancy tracking.
+
+use crate::{DesignBundle, Expectation};
+
+/// FIFO control logic (pointers + occupancy counter, no data array): the
+/// pointer-consistency property needs the three-register difference lemma
+/// `(wptr - rptr) == count`.
+pub fn fifo_counters() -> DesignBundle {
+    DesignBundle {
+        name: "fifo_counters",
+        rtl: r#"
+module fifo_counters (input clk, rst, input wr, rd,
+                      output logic [7:0] wptr, rptr, count,
+                      output logic full, empty);
+  assign full = count == 8'd16;
+  assign empty = count == 8'd0;
+  logic do_wr, do_rd;
+  assign do_wr = wr && !full;
+  assign do_rd = rd && !empty;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      wptr <= '0;
+      rptr <= '0;
+      count <= '0;
+    end else begin
+      wptr <= wptr + (do_wr ? 8'd1 : 8'd0);
+      rptr <= rptr + (do_rd ? 8'd1 : 8'd0);
+      count <= count + (do_wr ? 8'd1 : 8'd0) - (do_rd ? 8'd1 : 8'd0);
+    end
+  end
+endmodule
+"#,
+        spec: "Control logic of a 16-deep synchronous FIFO: write/read pointers advance on \
+               accepted operations and count tracks the occupancy, so the pointer \
+               difference always equals count and the FIFO never overflows or underflows.",
+        targets: vec![
+            (
+                "no_overflow".to_string(),
+                "count <= 8'd16".to_string(),
+            ),
+            (
+                "pointers_meet_only_when_empty".to_string(),
+                // Needs the lemma (wptr - rptr) == count (and the bound).
+                "wptr == rptr |-> count == 8'd0".to_string(),
+            ),
+        ],
+        expectation: Expectation::NeedsLemmas,
+    }
+}

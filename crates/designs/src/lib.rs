@@ -1,0 +1,113 @@
+//! # genfv-designs — the evaluation design corpus
+//!
+//! The paper evaluates its flows on "counters and ECC" designs. This crate
+//! ships a corpus of nineteen RTL designs in the `genfv-hdl` subset, each
+//! bundled with the natural-language specification the Flow-1 prompt needs
+//! and the target properties the flows must prove:
+//!
+//! * **counters** — the paper's Listing-1 synchronized counters (32- and
+//!   16-bit), constant-offset counters, a modulo-N counter, a saturating
+//!   up/down counter, a Gray-code counter, and a deliberately broken pair;
+//! * **shift registers** — a one-hot ring counter, an LFSR, twin shift
+//!   registers;
+//! * **ECC** — a parity-protected pipeline, a Hamming(7,4) corrector, and
+//!   a Hamming(8,4) SEC-DED pipeline;
+//! * **FIFO** — pointer/occupancy control logic;
+//! * **control** — credit-based flow control, a registered divider with
+//!   Euclidean-identity checks, a watchdog timer, and a token-passing
+//!   arbiter.
+//!
+//! Each bundle declares an [`Expectation`] describing its role in the
+//! experiments: proves unaided, needs LLM-generated lemmas, or contains a
+//! real (seeded) bug.
+//!
+//! ```
+//! let corpus = genfv_designs::all_designs();
+//! assert!(corpus.iter().any(|d| d.name == "sync_counters"));
+//! let d = genfv_designs::by_name("hamming74").unwrap();
+//! assert!(d.rtl.contains("module hamming74"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod counters;
+pub mod ecc;
+pub mod fifo;
+pub mod shift;
+
+/// How a design is expected to behave under plain k-induction (small k,
+/// no lemmas) — drives the experiment harness and the corpus self-tests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// Every target proves with plain k-induction at small k.
+    ProvesUnaided,
+    /// At least one target fails its induction step until helper lemmas
+    /// are supplied (the paper's core scenario).
+    NeedsLemmas,
+    /// A target has a reachable counterexample (seeded bug).
+    HasRealBug,
+}
+
+/// An RTL design plus its specification and verification targets.
+#[derive(Clone, Debug)]
+pub struct DesignBundle {
+    /// Unique corpus name.
+    pub name: &'static str,
+    /// RTL source in the `genfv-hdl` subset.
+    pub rtl: &'static str,
+    /// Natural-language specification (Flow-1 prompt input).
+    pub spec: &'static str,
+    /// `(name, sva)` target properties.
+    pub targets: Vec<(String, String)>,
+    /// Expected behaviour under plain induction.
+    pub expectation: Expectation,
+}
+
+impl DesignBundle {
+    /// Prepares the design for the `genfv-core` flows.
+    ///
+    /// # Errors
+    /// Propagates parse/elaborate/compile failures (none occur for the
+    /// shipped corpus; the error path serves downstream users).
+    pub fn prepare(&self) -> Result<genfv_core::PreparedDesign, genfv_core::PrepareError> {
+        genfv_core::PreparedDesign::new(self.name, self.rtl, self.spec, &self.targets)
+    }
+}
+
+/// The complete corpus, in a stable order.
+pub fn all_designs() -> Vec<DesignBundle> {
+    vec![
+        counters::sync_counters(),
+        counters::sync_counters_16(),
+        counters::offset_counters(),
+        counters::modn_counter(),
+        counters::updown_counter(),
+        counters::gray_counter(),
+        counters::desync_counters(),
+        shift::ring_counter(),
+        shift::lfsr(),
+        shift::twin_shift(),
+        ecc::parity_pipe(),
+        ecc::hamming74(),
+        ecc::secded84(),
+        ecc::ecc_counter(),
+        fifo::fifo_counters(),
+        control::credit_flow(),
+        control::div_checker(),
+        control::watchdog(),
+        control::token_arbiter(),
+    ]
+}
+
+/// Looks a design up by name.
+pub fn by_name(name: &str) -> Option<DesignBundle> {
+    all_designs().into_iter().find(|d| d.name == name)
+}
+
+/// The designs whose targets require helper lemmas (the paper's headline
+/// scenario set).
+pub fn lemma_hungry_designs() -> Vec<DesignBundle> {
+    all_designs().into_iter().filter(|d| d.expectation == Expectation::NeedsLemmas).collect()
+}

@@ -1,0 +1,74 @@
+//! Shift-register-family designs (ring counter, LFSR, shift pipeline).
+
+use crate::{DesignBundle, Expectation};
+
+/// One-hot ring counter: rotation preserves the token, so the one-hot
+/// invariant is 1-inductive on its own.
+pub fn ring_counter() -> DesignBundle {
+    DesignBundle {
+        name: "ring_counter",
+        rtl: r#"
+module ring_counter (input clk, rst, output logic [7:0] ring);
+  always_ff @(posedge clk) begin
+    if (rst) ring <= 8'b0000_0001;
+    else ring <= {ring[6:0], ring[7]};
+  end
+endmodule
+"#,
+        spec: "An 8-stage one-hot ring counter (token rotator): exactly one bit is set at \
+               any time, so at least one stage is always granted and no two stages are \
+               granted together.",
+        targets: vec![("one_token".to_string(), "$onehot(ring)".to_string())],
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// Fibonacci LFSR: the nonzero invariant is required for the period
+/// property and is inductive.
+pub fn lfsr() -> DesignBundle {
+    DesignBundle {
+        name: "lfsr",
+        rtl: r#"
+module lfsr (input clk, rst, output logic [7:0] state);
+  logic feedback;
+  assign feedback = state[7] ^ state[5] ^ state[4] ^ state[3];
+  always_ff @(posedge clk) begin
+    if (rst) state <= 8'd1;
+    else state <= {state[6:0], feedback};
+  end
+endmodule
+"#,
+        spec: "A maximal-length 8-bit Fibonacci LFSR seeded with 1. The all-zeros state is \
+               not reachable: the register is always nonzero.",
+        targets: vec![("nonzero".to_string(), "state != 8'd0".to_string())],
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// Two shift registers fed by the same serial input; lockstep contents.
+pub fn twin_shift() -> DesignBundle {
+    DesignBundle {
+        name: "twin_shift",
+        rtl: r#"
+module twin_shift (input clk, rst, input din, output logic [15:0] sr_a, sr_b);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      sr_a <= '0;
+      sr_b <= '0;
+    end else begin
+      sr_a <= {sr_a[14:0], din};
+      sr_b <= {sr_b[14:0], din};
+    end
+  end
+endmodule
+"#,
+        spec: "Two 16-bit shift registers sampling the same serial input; their contents \
+               are always identical bit for bit.",
+        targets: vec![(
+            "msb_match".to_string(),
+            // Not inductive alone: needs sr_a == sr_b.
+            "sr_a[15] == sr_b[15]".to_string(),
+        )],
+        expectation: Expectation::NeedsLemmas,
+    }
+}

@@ -1,0 +1,108 @@
+//! Corpus self-tests: every shipped design must parse, elaborate,
+//! simulate sanely, and behave under plain k-induction exactly as its
+//! declared [`Expectation`] says. The lemma-hungry designs must then be
+//! repairable by Flow 2 with the strongest model profile — this is the
+//! repo's executable statement of the paper's Section-V claim.
+
+use genfv_core::{run_baseline, run_flow2, FlowConfig, TargetOutcome};
+use genfv_designs::{all_designs, by_name, lemma_hungry_designs, Expectation};
+use genfv_genai::{ModelProfile, SyntheticLlm};
+use genfv_mc::CheckConfig;
+
+fn flow_config() -> FlowConfig {
+    FlowConfig {
+        check: CheckConfig { max_k: 3, ..Default::default() },
+        max_iterations: 4,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn corpus_is_well_formed() {
+    let corpus = all_designs();
+    assert!(corpus.len() >= 12, "corpus size: {}", corpus.len());
+    let mut names: Vec<&str> = corpus.iter().map(|d| d.name).collect();
+    names.sort_unstable();
+    let mut dedup = names.clone();
+    dedup.dedup();
+    assert_eq!(names, dedup, "names must be unique");
+    for d in &corpus {
+        assert!(!d.targets.is_empty(), "{}: no targets", d.name);
+        assert!(!d.spec.is_empty(), "{}: no spec", d.name);
+        let prepared = d.prepare().unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        assert!(!prepared.ts.states().is_empty(), "{}: no state registers", d.name);
+    }
+}
+
+#[test]
+fn lookup_by_name() {
+    assert!(by_name("sync_counters").is_some());
+    assert!(by_name("hamming74").is_some());
+    assert!(by_name("nonexistent").is_none());
+}
+
+#[test]
+fn expectations_hold_under_plain_induction() {
+    for d in all_designs() {
+        let prepared = d.prepare().unwrap();
+        let report = run_baseline(&prepared, &flow_config());
+        match d.expectation {
+            Expectation::ProvesUnaided => {
+                assert!(
+                    report.all_proven(),
+                    "{} should prove unaided:\n{}",
+                    d.name,
+                    genfv_core::summarize_targets(&report)
+                );
+            }
+            Expectation::NeedsLemmas => {
+                assert!(
+                    report.targets.iter().any(|t| matches!(
+                        t.outcome,
+                        TargetOutcome::StillUnproven { .. }
+                    )),
+                    "{} should have a step failure:\n{}",
+                    d.name,
+                    genfv_core::summarize_targets(&report)
+                );
+                // And no target may be actually false.
+                assert!(
+                    !report
+                        .targets
+                        .iter()
+                        .any(|t| matches!(t.outcome, TargetOutcome::Falsified { .. })),
+                    "{}: target falsified, expectation wrong",
+                    d.name
+                );
+            }
+            Expectation::HasRealBug => {
+                assert!(
+                    report
+                        .targets
+                        .iter()
+                        .any(|t| matches!(t.outcome, TargetOutcome::Falsified { .. })),
+                    "{} should be falsified:\n{}",
+                    d.name,
+                    genfv_core::summarize_targets(&report)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flow2_with_strong_model_repairs_every_lemma_hungry_design() {
+    for d in lemma_hungry_designs() {
+        let prepared = d.prepare().unwrap();
+        let mut llm = SyntheticLlm::new(ModelProfile::GptFourTurbo, 0xFEED);
+        let report = run_flow2(prepared, &mut llm, &flow_config());
+        assert!(
+            report.all_proven(),
+            "{}: flow2 with gpt-4-turbo must close all targets\n{}\nevents:\n{}",
+            d.name,
+            genfv_core::summarize_targets(&report),
+            genfv_core::render_events(&report)
+        );
+        assert!(report.metrics.lemmas_accepted >= 1, "{}: no lemmas used?", d.name);
+    }
+}

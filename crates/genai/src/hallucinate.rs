@@ -1,0 +1,188 @@
+//! Profile-driven output corruption.
+//!
+//! Real LLMs hallucinate: they reference signals that do not exist, get
+//! constants subtly wrong, flip comparison directions, and sometimes emit
+//! text that does not parse at all. The paper's Section V observes exactly
+//! this quality gap between models and warns about "artificial
+//! hallucinations that produce vulnerable results" (Section VI). This
+//! module reproduces those failure modes *deterministically* so the
+//! validation layer downstream has realistic junk to reject.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The kinds of corruption applied to candidate assertions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Corruption {
+    /// Replace a signal name with a near-miss (`count2` → `count2_reg`).
+    PhantomSignal,
+    /// Perturb a numeric constant by one.
+    OffByOne,
+    /// Flip a comparison operator (`==` → `!=`, `<=` → `<`).
+    FlippedOperator,
+    /// Structural damage that breaks parsing.
+    SyntaxError,
+}
+
+/// Applies `kind` to the assertion text. Returns the corrupted text (which
+/// may equal the input when the pattern needed for that corruption does not
+/// occur).
+pub fn corrupt(text: &str, kind: Corruption, rng: &mut SmallRng) -> String {
+    match kind {
+        Corruption::PhantomSignal => {
+            // Find the first identifier and mutate it.
+            let mut out = String::new();
+            let mut done = false;
+            let mut chars = text.char_indices().peekable();
+            while let Some((i, c)) = chars.next() {
+                if !done && (c.is_ascii_alphabetic() || c == '_') {
+                    // Collect the identifier.
+                    let mut end = i + c.len_utf8();
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            chars.next();
+                            end = j + d.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    let ident = &text[i..end];
+                    // Don't corrupt SVA keywords/functions.
+                    if ident.starts_with('$') || ident == "property" || ident == "endproperty" {
+                        out.push_str(ident);
+                    } else {
+                        let suffix = ["_reg", "_q", "_int", "_sig"][rng.gen_range(0..4)];
+                        out.push_str(ident);
+                        out.push_str(suffix);
+                        done = true;
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Corruption::OffByOne => {
+            // Find a decimal constant after 'd or a bare number and bump it.
+            if let Some(pos) = text.find("'d") {
+                let digits_start = pos + 2;
+                let digits_end = text[digits_start..]
+                    .find(|c: char| !c.is_ascii_digit())
+                    .map(|o| digits_start + o)
+                    .unwrap_or(text.len());
+                if let Ok(v) = text[digits_start..digits_end].parse::<u64>() {
+                    let bumped = if rng.gen_bool(0.5) { v + 1 } else { v.saturating_sub(1) };
+                    return format!(
+                        "{}{}{}",
+                        &text[..digits_start],
+                        bumped,
+                        &text[digits_end..]
+                    );
+                }
+            }
+            text.to_string()
+        }
+        Corruption::FlippedOperator => {
+            for (from, to) in [("==", "!="), ("<=", "<"), ("|->", "|=>")] {
+                if text.contains(from) {
+                    return text.replacen(from, to, 1);
+                }
+            }
+            text.to_string()
+        }
+        Corruption::SyntaxError => {
+            let damages: [fn(&str) -> String; 3] = [
+                |t| t.replacen("==", "=== ===", 1),
+                |t| format!("{t} )"),
+                |t| t.replacen("(", "", 1),
+            ];
+            let f = damages[rng.gen_range(0..damages.len())];
+            let out = f(text);
+            if out == text {
+                format!("{text} (")
+            } else {
+                out
+            }
+        }
+    }
+}
+
+/// Picks a corruption kind given profile rates; `None` means the candidate
+/// is passed through clean.
+pub fn pick_corruption(
+    rng: &mut SmallRng,
+    hallucination_rate: f64,
+    syntax_error_rate: f64,
+) -> Option<Corruption> {
+    let r: f64 = rng.gen();
+    if r < syntax_error_rate {
+        return Some(Corruption::SyntaxError);
+    }
+    if r < syntax_error_rate + hallucination_rate {
+        let kinds =
+            [Corruption::PhantomSignal, Corruption::OffByOne, Corruption::FlippedOperator];
+        return Some(kinds[rng.gen_range(0..kinds.len())]);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn phantom_signal_changes_identifier() {
+        let out = corrupt("count1 == count2", Corruption::PhantomSignal, &mut rng());
+        assert_ne!(out, "count1 == count2");
+        assert!(out.starts_with("count1_"), "{out}");
+    }
+
+    #[test]
+    fn phantom_skips_dollar_functions() {
+        let out = corrupt("$onehot(state)", Corruption::PhantomSignal, &mut rng());
+        assert!(out.starts_with("$onehot"), "{out}");
+        assert_ne!(out, "$onehot(state)", "the argument identifier mutates instead");
+    }
+
+    #[test]
+    fn off_by_one_bumps_constant() {
+        let out = corrupt("cnt <= 8'd9", Corruption::OffByOne, &mut rng());
+        assert!(out == "cnt <= 8'd10" || out == "cnt <= 8'd8", "{out}");
+    }
+
+    #[test]
+    fn flipped_operator() {
+        assert_eq!(
+            corrupt("a == b", Corruption::FlippedOperator, &mut rng()),
+            "a != b"
+        );
+        assert_eq!(corrupt("a <= b", Corruption::FlippedOperator, &mut rng()), "a < b");
+    }
+
+    #[test]
+    fn syntax_error_breaks_parsing() {
+        let out = corrupt("(a == b)", Corruption::SyntaxError, &mut rng());
+        assert!(genfv_sva::parse_assertion(&out).is_err(), "should not parse: {out}");
+    }
+
+    #[test]
+    fn rates_zero_means_clean() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(pick_corruption(&mut r, 0.0, 0.0), None);
+        }
+    }
+
+    #[test]
+    fn rates_one_means_always_corrupt() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(pick_corruption(&mut r, 1.0, 0.0).is_some());
+        }
+    }
+}

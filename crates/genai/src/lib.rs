@@ -1,0 +1,37 @@
+//! # genfv-genai — synthetic generative-AI stack
+//!
+//! The paper sends (1) specification + RTL, or (2) RTL + induction-step
+//! counterexample, to a hosted LLM and parses helper assertions out of the
+//! reply. This crate reproduces that pipeline without a network:
+//!
+//! * [`Prompt`] renders the exact artefacts the paper's Figs. 1 and 2 send
+//!   (spec, fenced RTL, failing property, CEX waveform + final values);
+//! * [`LanguageModel`] is the provider interface (prompt in, text out);
+//! * [`SyntheticLlm`] implements it deterministically: the prompt text is
+//!   **re-parsed** ([`PromptSections`]), an invariant [`miner`] analyzes
+//!   the recovered design (seeded random simulation + RTL structure +
+//!   CEX-guided filtering), and a [`ModelProfile`] shapes the output —
+//!   pattern-family coverage, ranking noise, hallucination and
+//!   syntax-error injection ([`hallucinate`]), candidate budget,
+//!   verbosity;
+//! * completions are ordinary prose-with-code text; downstream flows
+//!   extract assertions with `genfv_sva::parse_assertions`, exactly as
+//!   they would from GPT-4 output.
+//!
+//! The four profiles (GPT-4-Turbo, GPT-4o, Llama-3, Gemini) are calibrated
+//! so the paper's Section-V quality ordering is reproduced *end to end* —
+//! including the overhead of rejecting junk — rather than asserted.
+//! `DESIGN.md` documents why this substitution preserves the measurable
+//! claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hallucinate;
+pub mod miner;
+pub mod model;
+pub mod prompt;
+
+pub use miner::{mine, CandidateInvariant, Family, MineError, MinerConfig};
+pub use model::{Completion, LanguageModel, ModelProfile, SyntheticLlm};
+pub use prompt::{FlowKind, Prompt, PromptSections};

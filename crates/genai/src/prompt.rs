@@ -1,0 +1,269 @@
+//! Prompt templates for the two flows of the paper.
+//!
+//! A [`Prompt`] is real text: the specification, the RTL source, the target
+//! property, and (for Flow 2) the rendered induction-step counterexample —
+//! exactly the inputs the paper's Figs. 1 and 2 feed to the LLM. The
+//! synthetic model backend re-parses this text ([`PromptSections::parse`]);
+//! nothing is passed out of band, so the pipeline exercises the same
+//! artefact boundary a production integration would.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which of the paper's flows produced the prompt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowKind {
+    /// Fig. 1: helper-assertion generation from specification + RTL.
+    SpecAndRtl,
+    /// Fig. 2: helper-assertion generation from RTL + induction-step CEX.
+    InductionFailure,
+}
+
+/// A rendered prompt.
+#[derive(Clone, Debug)]
+pub struct Prompt {
+    /// Flow that produced it.
+    pub kind: FlowKind,
+    /// System-role instructions.
+    pub system: String,
+    /// User-role payload (spec/RTL/CEX sections).
+    pub user: String,
+}
+
+const SYSTEM_FLOW1: &str = "You are a hardware formal-verification assistant. Given a design \
+specification and its RTL, produce SystemVerilog helper assertions (lemmas) that are likely \
+to be invariants of the design and useful for k-induction proofs. Output each assertion as \
+a `property ... endproperty` block.";
+
+const SYSTEM_FLOW2: &str = "You are a hardware formal-verification assistant. A property \
+failed its k-induction step; you are given the RTL and the counterexample waveform from \
+the inductive step (which may start in an unreachable state). Produce helper assertions \
+that rule out the spurious start state so the induction can close. Output each assertion \
+as a `property ... endproperty` block.";
+
+impl Prompt {
+    /// Builds the Fig.-1 prompt: specification + RTL (+ the target
+    /// properties the user ultimately wants to prove).
+    pub fn flow1(spec: &str, rtl: &str, targets: &[String]) -> Self {
+        let mut user = String::new();
+        user.push_str("### Specification\n");
+        user.push_str(spec.trim());
+        user.push_str("\n\n### RTL\n```systemverilog\n");
+        user.push_str(rtl.trim());
+        user.push_str("\n```\n");
+        if !targets.is_empty() {
+            user.push_str("\n### Target properties\n");
+            for t in targets {
+                user.push_str("- `");
+                user.push_str(t);
+                user.push_str("`\n");
+            }
+        }
+        user.push_str(
+            "\n### Task\nGenerate helper assertions (invariants) of this design that would \
+             speed up or enable the formal proof of the target properties.\n",
+        );
+        Prompt { kind: FlowKind::SpecAndRtl, system: SYSTEM_FLOW1.to_string(), user }
+    }
+
+    /// Builds the Fig.-2 prompt: RTL + failed property + CEX rendering.
+    ///
+    /// `final_values` are the signal values in the violating cycle (the
+    /// machine-readable core of the waveform); `waveform` is the full ASCII
+    /// art added for realism (and because actual LLMs read it).
+    pub fn flow2(
+        rtl: &str,
+        property: &str,
+        waveform: &str,
+        final_values: &BTreeMap<String, String>,
+    ) -> Self {
+        let mut user = String::new();
+        user.push_str("### RTL\n```systemverilog\n");
+        user.push_str(rtl.trim());
+        user.push_str("\n```\n\n### Failing property\n`");
+        user.push_str(property);
+        user.push_str("`\n\n### Induction step counterexample\n");
+        user.push_str("The inductive step failed. Waveform:\n```\n");
+        user.push_str(waveform.trim_end());
+        user.push_str("\n```\n\nFinal (violating) cycle values:\n");
+        for (name, value) in final_values {
+            user.push_str("- ");
+            user.push_str(name);
+            user.push_str(" = ");
+            user.push_str(value);
+            user.push('\n');
+        }
+        user.push_str(
+            "\n### Task\nThe start state of the induction window may be unreachable. Write \
+             helper assertions that exclude it (they must be true invariants of the design) \
+             so the next induction attempt succeeds.\n",
+        );
+        Prompt { kind: FlowKind::InductionFailure, system: SYSTEM_FLOW2.to_string(), user }
+    }
+
+    /// Crude token estimate (≈ 4 characters per token, the usual rule of
+    /// thumb for English+code).
+    pub fn token_estimate(&self) -> usize {
+        (self.system.len() + self.user.len()).div_ceil(4)
+    }
+}
+
+impl fmt::Display for Prompt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[system]\n{}\n\n[user]\n{}", self.system, self.user)
+    }
+}
+
+/// The sections a model backend can recover from a prompt.
+///
+/// The synthetic LLM uses *only* this parsed view — it has no side channel
+/// to the original design objects.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PromptSections {
+    /// Specification prose (Flow 1).
+    pub spec: Option<String>,
+    /// RTL source from the fenced block.
+    pub rtl: Option<String>,
+    /// Target property strings.
+    pub targets: Vec<String>,
+    /// Failing property (Flow 2).
+    pub failing_property: Option<String>,
+    /// Final-cycle values `signal → verilog-literal` (Flow 2).
+    pub final_values: BTreeMap<String, String>,
+}
+
+impl PromptSections {
+    /// Parses the user payload of a prompt back into sections.
+    pub fn parse(user: &str) -> Self {
+        let mut out = PromptSections::default();
+        let mut current: Option<&str> = None;
+        let mut buf = String::new();
+        let mut in_code = false;
+
+        let flush = |section: Option<&str>, buf: &mut String, out: &mut PromptSections| {
+            let text = buf.trim().to_string();
+            if text.is_empty() {
+                buf.clear();
+                return;
+            }
+            match section {
+                Some("Specification") => out.spec = Some(text),
+                Some("RTL") => out.rtl = Some(strip_fence(&text)),
+                Some("Failing property") => {
+                    out.failing_property = Some(text.trim_matches('`').to_string())
+                }
+                Some("Target properties") => {
+                    for line in text.lines() {
+                        let line = line.trim().trim_start_matches('-').trim();
+                        let line = line.trim_matches('`');
+                        if !line.is_empty() {
+                            out.targets.push(line.to_string());
+                        }
+                    }
+                }
+                Some("Induction step counterexample") => {
+                    for line in text.lines() {
+                        let line = line.trim();
+                        if let Some(rest) = line.strip_prefix("- ") {
+                            if let Some((name, value)) = rest.split_once(" = ") {
+                                out.final_values
+                                    .insert(name.trim().to_string(), value.trim().to_string());
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            buf.clear();
+        };
+
+        for line in user.lines() {
+            if line.trim_start().starts_with("```") {
+                in_code = !in_code;
+                buf.push_str(line);
+                buf.push('\n');
+                continue;
+            }
+            if !in_code {
+                if let Some(h) = line.strip_prefix("### ") {
+                    flush(current, &mut buf, &mut out);
+                    current = Some(match h.trim() {
+                        "Specification" => "Specification",
+                        "RTL" => "RTL",
+                        "Target properties" => "Target properties",
+                        "Failing property" => "Failing property",
+                        "Induction step counterexample" => "Induction step counterexample",
+                        _ => "other",
+                    });
+                    continue;
+                }
+            }
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        flush(current, &mut buf, &mut out);
+        out
+    }
+}
+
+fn strip_fence(text: &str) -> String {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            continue;
+        }
+        out.push(line);
+    }
+    out.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow1_roundtrip() {
+        let p = Prompt::flow1(
+            "Two counters must stay in lockstep.",
+            "module m (); endmodule",
+            &["&count1 |-> &count2".to_string()],
+        );
+        assert_eq!(p.kind, FlowKind::SpecAndRtl);
+        let s = PromptSections::parse(&p.user);
+        assert_eq!(s.spec.as_deref(), Some("Two counters must stay in lockstep."));
+        assert_eq!(s.rtl.as_deref(), Some("module m (); endmodule"));
+        assert_eq!(s.targets, vec!["&count1 |-> &count2".to_string()]);
+        assert!(p.token_estimate() > 50);
+    }
+
+    #[test]
+    fn flow2_roundtrip() {
+        let vals = BTreeMap::from([
+            ("count1".to_string(), "8'hff".to_string()),
+            ("count2".to_string(), "8'h7f".to_string()),
+        ]);
+        let p = Prompt::flow2("module m (); endmodule", "&count1 |-> &count2", "… wave …", &vals);
+        assert_eq!(p.kind, FlowKind::InductionFailure);
+        let s = PromptSections::parse(&p.user);
+        assert_eq!(s.failing_property.as_deref(), Some("&count1 |-> &count2"));
+        assert_eq!(s.final_values.get("count2").map(String::as_str), Some("8'h7f"));
+        assert_eq!(s.rtl.as_deref(), Some("module m (); endmodule"));
+    }
+
+    #[test]
+    fn rtl_with_hash_lines_survives_fencing() {
+        // `##1` inside code must not be mistaken for a header.
+        let rtl = "module m ();\n### not a header inside code? no — fenced\nendmodule";
+        let p = Prompt::flow1("spec", rtl, &[]);
+        let s = PromptSections::parse(&p.user);
+        assert!(s.rtl.unwrap().contains("### not a header"));
+    }
+
+    #[test]
+    fn display_includes_both_roles() {
+        let p = Prompt::flow1("s", "r", &[]);
+        let text = format!("{p}");
+        assert!(text.contains("[system]"));
+        assert!(text.contains("[user]"));
+    }
+}

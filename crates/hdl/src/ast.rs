@@ -1,0 +1,288 @@
+//! Abstract syntax tree for the Verilog subset.
+//!
+//! The expression AST is shared with the `genfv-sva` assertion language,
+//! which layers temporal operators on top of it.
+
+use crate::lexer::Pos;
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnaryAstOp {
+    /// Bitwise complement `~`.
+    BitNot,
+    /// Logical negation `!` (operand coerced to 1 bit).
+    LogNot,
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Reduction AND `&x`.
+    RedAnd,
+    /// Reduction OR `|x`.
+    RedOr,
+    /// Reduction XOR `^x`.
+    RedXor,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinaryAstOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (unsigned)
+    Div,
+    /// `%` (unsigned)
+    Mod,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (operands coerced to 1 bit)
+    LogAnd,
+    /// `||` (operands coerced to 1 bit)
+    LogOr,
+}
+
+/// Expression AST nodes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Number literal as lexed; width resolution happens at elaboration.
+    Number {
+        /// Explicit size (`8` in `8'hFF`).
+        size: Option<u32>,
+        /// Base char: `b`/`h`/`d`/`o`, `i` for bare integers, `f` for `'0`/`'1`.
+        base: char,
+        /// Digits with underscores removed.
+        digits: String,
+    },
+    /// Identifier reference.
+    Ident(String),
+    /// Unary application.
+    Unary(UnaryAstOp, Box<Expr>),
+    /// Binary application.
+    Binary(BinaryAstOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Bit select `x[i]` (constant index).
+    Index(Box<Expr>, Box<Expr>),
+    /// Part select `x[hi:lo]` (constant bounds).
+    Range(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Concatenation `{a, b, c}` (first element highest).
+    Concat(Vec<Expr>),
+    /// Replication `{n{x}}` (constant count).
+    Repl(Box<Expr>, Box<Expr>),
+    /// System/function call such as `$countones(x)`; the HDL elaborator
+    /// supports a fixed set, the SVA compiler adds temporal ones.
+    Call(String, Vec<Expr>),
+}
+
+/// Assignment target (whole identifiers only in this subset).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LValue {
+    /// Target net/register name.
+    pub name: String,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Procedural statements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `begin ... end`.
+    Block(Vec<Stmt>),
+    /// `if (cond) then [else els]`.
+    If {
+        /// Condition (coerced to 1 bit).
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `case (subject) v1, v2: stmt ... default: stmt endcase`.
+    Case {
+        /// Scrutinee.
+        subject: Expr,
+        /// Arms: labels and body.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// `default:` body.
+        default: Option<Box<Stmt>>,
+    },
+    /// Non-blocking assignment `x <= e;`.
+    NonBlocking {
+        /// Target register.
+        target: LValue,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+    /// Blocking assignment `x = e;` (only in `always_comb`).
+    Blocking {
+        /// Target net.
+        target: LValue,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+    /// `x++;` — sugar for `x <= x + 1`.
+    Incr(LValue),
+    /// `x--;` — sugar for `x <= x - 1`.
+    Decr(LValue),
+    /// Empty statement `;`.
+    Empty,
+}
+
+/// Port direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortDir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// A `[hi:lo]` range with constant (parameter) expressions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RangeDecl {
+    /// High (MSB) index.
+    pub hi: Expr,
+    /// Low (LSB) index.
+    pub lo: Expr,
+}
+
+/// A module port.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Port {
+    /// Direction.
+    pub dir: PortDir,
+    /// Port name.
+    pub name: String,
+    /// Optional vector range.
+    pub range: Option<RangeDecl>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Module-level items.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Item {
+    /// `logic [7:0] a, b;` / `wire ...` / `reg ...`.
+    Net {
+        /// Optional vector range.
+        range: Option<RangeDecl>,
+        /// Declared names.
+        names: Vec<String>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `parameter N = 8;` or `localparam ...`.
+    Param {
+        /// Parameter name.
+        name: String,
+        /// Value expression (constant).
+        value: Expr,
+        /// Position.
+        pos: Pos,
+    },
+    /// `assign x = e;`.
+    Assign {
+        /// Target net.
+        target: String,
+        /// Driven expression.
+        rhs: Expr,
+        /// Position.
+        pos: Pos,
+    },
+    /// Clocked process: `always_ff @(posedge clk [or posedge rst]) body`
+    /// (plain `always` with the same sensitivity is accepted too).
+    AlwaysFf {
+        /// Clock signal name.
+        clock: String,
+        /// Asynchronous reset signal from the sensitivity list, if any.
+        async_reset: Option<String>,
+        /// Body statement.
+        body: Stmt,
+        /// Position.
+        pos: Pos,
+    },
+    /// Combinational process `always_comb body` / `always @(*) body`.
+    AlwaysComb {
+        /// Body statement.
+        body: Stmt,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+/// A parsed module.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Header parameters (`#(parameter W = 8)`).
+    pub header_params: Vec<(String, Expr)>,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Body items.
+    pub items: Vec<Item>,
+    /// Position of the `module` keyword.
+    pub pos: Pos,
+}
+
+impl Module {
+    /// Names of all registers assigned in clocked processes.
+    pub fn clocked_targets(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            if let Item::AlwaysFf { body, .. } = item {
+                collect_targets(body, &mut out);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn collect_targets(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_targets(s, out)),
+        Stmt::If { then_branch, else_branch, .. } => {
+            collect_targets(then_branch, out);
+            if let Some(e) = else_branch {
+                collect_targets(e, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for (_, s) in arms {
+                collect_targets(s, out);
+            }
+            if let Some(d) = default {
+                collect_targets(d, out);
+            }
+        }
+        Stmt::NonBlocking { target, .. }
+        | Stmt::Blocking { target, .. }
+        | Stmt::Incr(target)
+        | Stmt::Decr(target) => out.push(target.name.clone()),
+        Stmt::Empty => {}
+    }
+}

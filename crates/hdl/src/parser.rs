@@ -1,0 +1,756 @@
+//! Recursive-descent parser for the Verilog subset.
+//!
+//! The expression grammar (with standard Verilog precedence) is exposed via
+//! [`Parser::parse_expr_only`] so the SVA frontend can reuse it for the
+//! boolean layer of assertions.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Pos, Tok, Token};
+use std::error::Error;
+use std::fmt;
+
+/// Parse failure with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Position of the offending token.
+    pub pos: Pos,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { pos: e.pos, message: e.message }
+    }
+}
+
+/// Parses a source file into its modules.
+///
+/// # Errors
+/// Returns [`ParseError`] on any lexical or syntactic problem.
+pub fn parse_source(src: &str) -> Result<Vec<Module>, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut modules = Vec::new();
+    while !p.at_eof() {
+        modules.push(p.parse_module()?);
+    }
+    Ok(modules)
+}
+
+/// Parses a standalone expression (used by tests and the SVA frontend).
+///
+/// # Errors
+/// Returns [`ParseError`] if the input is not a single valid expression.
+pub fn parse_expression(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Token-stream parser; create via [`Parser::from_source`].
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Builds a parser over `src`.
+    ///
+    /// # Errors
+    /// Returns [`ParseError`] when lexing fails.
+    pub fn from_source(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser { tokens: lex(src)?, pos: 0 })
+    }
+
+    /// Builds a parser over an existing token stream (the final token should
+    /// be [`Tok::Eof`]; one is appended if missing). Used by the SVA
+    /// frontend to parse the boolean layer out of a larger temporal
+    /// expression.
+    pub fn from_tokens(mut tokens: Vec<Token>) -> Self {
+        if !matches!(tokens.last().map(|t| &t.tok), Some(Tok::Eof)) {
+            let pos = tokens.last().map(|t| t.pos).unwrap_or(Pos { line: 1, col: 1 });
+            tokens.push(Token { tok: Tok::Eof, pos });
+        }
+        Parser { tokens, pos: 0 }
+    }
+
+    /// Number of tokens consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Parses a full expression and requires end-of-input.
+    ///
+    /// # Errors
+    /// Returns [`ParseError`] on malformed input or trailing tokens.
+    pub fn parse_expr_only(mut self) -> Result<Expr, ParseError> {
+        let e = self.parse_expr()?;
+        self.expect_eof()?;
+        Ok(e)
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_pos(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.peek_pos(), message: message.into() })
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.error(format!("unexpected {} after expression", self.peek()))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.error(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.error(format!("expected keyword `{kw}`, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if !is_keyword(&s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // --- module structure -------------------------------------------------
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        let pos = self.peek_pos();
+        self.expect_kw("module")?;
+        let name = self.expect_ident()?;
+        let mut header_params = Vec::new();
+        if self.eat_punct("#") {
+            self.expect_punct("(")?;
+            loop {
+                self.eat_kw("parameter");
+                let pname = self.expect_ident()?;
+                self.expect_punct("=")?;
+                let value = self.parse_expr()?;
+                header_params.push((pname, value));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        let mut ports = Vec::new();
+        if self.eat_punct("(") && !self.eat_punct(")") {
+            self.parse_port_list(&mut ports)?;
+            self.expect_punct(")")?;
+        }
+        self.expect_punct(";")?;
+        let mut items = Vec::new();
+        while !self.eat_kw("endmodule") {
+            if self.at_eof() {
+                return self.error("unexpected end of input inside module");
+            }
+            items.push(self.parse_item()?);
+        }
+        Ok(Module { name, header_params, ports, items, pos })
+    }
+
+    fn parse_port_list(&mut self, ports: &mut Vec<Port>) -> Result<(), ParseError> {
+        let mut dir = PortDir::Input;
+        let mut range: Option<RangeDecl> = None;
+        loop {
+            let pos = self.peek_pos();
+            if self.eat_kw("input") {
+                dir = PortDir::Input;
+                self.eat_net_kind();
+                range = self.parse_opt_range()?;
+            } else if self.eat_kw("output") {
+                dir = PortDir::Output;
+                self.eat_net_kind();
+                range = self.parse_opt_range()?;
+            }
+            let name = self.expect_ident()?;
+            ports.push(Port { dir, name, range: range.clone(), pos });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn eat_net_kind(&mut self) -> bool {
+        self.eat_kw("logic") || self.eat_kw("wire") || self.eat_kw("reg") || self.eat_kw("bit")
+    }
+
+    fn parse_opt_range(&mut self) -> Result<Option<RangeDecl>, ParseError> {
+        if self.eat_punct("[") {
+            let hi = self.parse_expr()?;
+            self.expect_punct(":")?;
+            let lo = self.parse_expr()?;
+            self.expect_punct("]")?;
+            Ok(Some(RangeDecl { hi, lo }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_item(&mut self) -> Result<Item, ParseError> {
+        let pos = self.peek_pos();
+        if self.eat_kw("parameter") || self.eat_kw("localparam") {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let value = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Item::Param { name, value, pos });
+        }
+        if self.eat_net_kind() {
+            let range = self.parse_opt_range()?;
+            let mut names = vec![self.expect_ident()?];
+            // `logic [7:0] x = expr;` initialiser is not supported — nets
+            // are driven by assign/always in this subset.
+            while self.eat_punct(",") {
+                names.push(self.expect_ident()?);
+            }
+            self.expect_punct(";")?;
+            return Ok(Item::Net { range, names, pos });
+        }
+        if self.eat_kw("assign") {
+            let target = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let rhs = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Item::Assign { target, rhs, pos });
+        }
+        if self.eat_kw("always_comb") {
+            let body = self.parse_stmt()?;
+            return Ok(Item::AlwaysComb { body, pos });
+        }
+        let is_ff = if self.eat_kw("always_ff") {
+            true
+        } else if self.eat_kw("always") {
+            false
+        } else {
+            return self.error(format!("expected module item, found {}", self.peek()));
+        };
+        // `always @(*)` → combinational; otherwise clocked.
+        self.expect_punct("@")?;
+        self.expect_punct("(")?;
+        if !is_ff && self.eat_punct("*") {
+            self.expect_punct(")")?;
+            let body = self.parse_stmt()?;
+            return Ok(Item::AlwaysComb { body, pos });
+        }
+        self.expect_kw("posedge")?;
+        let clock = self.expect_ident()?;
+        let mut async_reset = None;
+        if self.eat_kw("or") {
+            self.expect_kw("posedge")?;
+            async_reset = Some(self.expect_ident()?);
+        }
+        self.expect_punct(")")?;
+        let body = self.parse_stmt()?;
+        Ok(Item::AlwaysFf { clock, async_reset, body, pos })
+    }
+
+    // --- statements ---------------------------------------------------------
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("begin") {
+            let mut stmts = Vec::new();
+            while !self.eat_kw("end") {
+                if self.at_eof() {
+                    return self.error("unexpected end of input inside begin/end");
+                }
+                stmts.push(self.parse_stmt()?);
+            }
+            return Ok(Stmt::Block(stmts));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let then_branch = Box::new(self.parse_stmt()?);
+            let else_branch = if self.eat_kw("else") {
+                Some(Box::new(self.parse_stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then_branch, else_branch });
+        }
+        if self.eat_kw("case") || self.eat_kw("unique") && self.eat_kw("case") {
+            self.expect_punct("(")?;
+            let subject = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.eat_kw("endcase") {
+                if self.at_eof() {
+                    return self.error("unexpected end of input inside case");
+                }
+                if self.eat_kw("default") {
+                    self.expect_punct(":")?;
+                    default = Some(Box::new(self.parse_stmt()?));
+                    continue;
+                }
+                let mut labels = vec![self.parse_expr()?];
+                while self.eat_punct(",") {
+                    labels.push(self.parse_expr()?);
+                }
+                self.expect_punct(":")?;
+                let body = self.parse_stmt()?;
+                arms.push((labels, body));
+            }
+            return Ok(Stmt::Case { subject, arms, default });
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        // Assignment or increment/decrement.
+        let pos = self.peek_pos();
+        let name = self.expect_ident()?;
+        let target = LValue { name, pos };
+        if self.eat_punct("++") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Incr(target));
+        }
+        if self.eat_punct("--") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decr(target));
+        }
+        if self.eat_punct("<=") {
+            let rhs = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::NonBlocking { target, rhs });
+        }
+        if self.eat_punct("=") {
+            let rhs = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Blocking { target, rhs });
+        }
+        if self.eat_punct("+=") {
+            let rhs = self.parse_expr()?;
+            self.expect_punct(";")?;
+            let lhs = Expr::Ident(target.name.clone());
+            return Ok(Stmt::NonBlocking {
+                target,
+                rhs: Expr::Binary(BinaryAstOp::Add, Box::new(lhs), Box::new(rhs)),
+            });
+        }
+        self.error(format!("expected assignment operator, found {}", self.peek()))
+    }
+
+    // --- expressions ----------------------------------------------------------
+
+    /// Parses a full (ternary-level) expression.
+    ///
+    /// # Errors
+    /// Returns [`ParseError`] on malformed input.
+    pub fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct("?") {
+            let t = self.parse_expr()?;
+            self.expect_punct(":")?;
+            let e = self.parse_expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(t), Box::new(e)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct("||") => (BinaryAstOp::LogOr, 1),
+                Tok::Punct("&&") => (BinaryAstOp::LogAnd, 2),
+                Tok::Punct("|") => (BinaryAstOp::BitOr, 3),
+                Tok::Punct("^") => (BinaryAstOp::BitXor, 4),
+                Tok::Punct("&") => (BinaryAstOp::BitAnd, 5),
+                Tok::Punct("==") => (BinaryAstOp::Eq, 6),
+                Tok::Punct("!=") => (BinaryAstOp::Ne, 6),
+                Tok::Punct("<") => (BinaryAstOp::Lt, 7),
+                Tok::Punct("<=") => (BinaryAstOp::Le, 7),
+                Tok::Punct(">") => (BinaryAstOp::Gt, 7),
+                Tok::Punct(">=") => (BinaryAstOp::Ge, 7),
+                Tok::Punct("<<") => (BinaryAstOp::Shl, 8),
+                Tok::Punct(">>") => (BinaryAstOp::Shr, 8),
+                Tok::Punct("+") => (BinaryAstOp::Add, 9),
+                Tok::Punct("-") => (BinaryAstOp::Sub, 9),
+                Tok::Punct("*") => (BinaryAstOp::Mul, 10),
+                Tok::Punct("/") => (BinaryAstOp::Div, 10),
+                Tok::Punct("%") => (BinaryAstOp::Mod, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            Tok::Punct("~") => Some(UnaryAstOp::BitNot),
+            Tok::Punct("!") => Some(UnaryAstOp::LogNot),
+            Tok::Punct("-") => Some(UnaryAstOp::Neg),
+            Tok::Punct("&") => Some(UnaryAstOp::RedAnd),
+            Tok::Punct("|") => Some(UnaryAstOp::RedOr),
+            Tok::Punct("^") => Some(UnaryAstOp::RedXor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary(op, Box::new(operand)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_punct("[") {
+                let first = self.parse_expr()?;
+                if self.eat_punct(":") {
+                    let lo = self.parse_expr()?;
+                    self.expect_punct("]")?;
+                    e = Expr::Range(Box::new(e), Box::new(first), Box::new(lo));
+                } else {
+                    self.expect_punct("]")?;
+                    e = Expr::Index(Box::new(e), Box::new(first));
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Number { size, base, digits } => {
+                self.bump();
+                Ok(Expr::Number { size, base, digits })
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("{") => {
+                self.bump();
+                let first = self.parse_expr()?;
+                // Replication {n{x}}?
+                if self.eat_punct("{") {
+                    let inner = self.parse_expr()?;
+                    self.expect_punct("}")?;
+                    self.expect_punct("}")?;
+                    return Ok(Expr::Repl(Box::new(first), Box::new(inner)));
+                }
+                let mut parts = vec![first];
+                while self.eat_punct(",") {
+                    parts.push(self.parse_expr()?);
+                }
+                self.expect_punct("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            Tok::Ident(name) => {
+                if is_keyword(&name) {
+                    return self.error(format!("unexpected keyword `{name}` in expression"));
+                }
+                self.bump();
+                // System calls take parenthesised args; plain identifiers
+                // never do in this subset.
+                if name.starts_with('$') {
+                    self.expect_punct("(")?;
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        args.push(self.parse_expr()?);
+                        while self.eat_punct(",") {
+                            args.push(self.parse_expr()?);
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                Ok(Expr::Ident(name))
+            }
+            other => self.error(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "module"
+            | "endmodule"
+            | "input"
+            | "output"
+            | "logic"
+            | "wire"
+            | "reg"
+            | "bit"
+            | "parameter"
+            | "localparam"
+            | "assign"
+            | "always"
+            | "always_ff"
+            | "always_comb"
+            | "posedge"
+            | "negedge"
+            | "begin"
+            | "end"
+            | "if"
+            | "else"
+            | "case"
+            | "endcase"
+            | "default"
+            | "or"
+            | "property"
+            | "endproperty"
+            | "assert"
+            | "assume"
+            | "unique"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_listing_1() {
+        // Listing 1 of the paper, modulo whitespace.
+        let src = r#"
+module sync_counters (input clk, rst, output logic [31:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 32'b0;
+      count2 <= 32'b0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+"#;
+        let mods = parse_source(src).unwrap();
+        assert_eq!(mods.len(), 1);
+        let m = &mods[0];
+        assert_eq!(m.name, "sync_counters");
+        assert_eq!(m.ports.len(), 4);
+        assert_eq!(m.ports[0].name, "clk");
+        assert_eq!(m.ports[1].name, "rst");
+        assert_eq!(m.ports[2].name, "count1");
+        assert!(m.ports[2].range.is_some());
+        assert_eq!(m.clocked_targets(), vec!["count1".to_string(), "count2".to_string()]);
+        match &m.items[0] {
+            Item::AlwaysFf { clock, async_reset, .. } => {
+                assert_eq!(clock, "clk");
+                assert_eq!(async_reset.as_deref(), Some("rst"));
+            }
+            other => panic!("expected always_ff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expression("a + b * c").unwrap();
+        match e {
+            Expr::Binary(BinaryAstOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Binary(BinaryAstOp::Mul, _, _)));
+            }
+            other => panic!("bad tree: {other:?}"),
+        }
+        let e = parse_expression("a == b && c == d").unwrap();
+        assert!(matches!(e, Expr::Binary(BinaryAstOp::LogAnd, _, _)));
+    }
+
+    #[test]
+    fn unary_and_reduction() {
+        let e = parse_expression("&count1").unwrap();
+        assert!(matches!(e, Expr::Unary(UnaryAstOp::RedAnd, _)));
+        let e = parse_expression("^(a & b)").unwrap();
+        assert!(matches!(e, Expr::Unary(UnaryAstOp::RedXor, _)));
+        let e = parse_expression("~a + -b").unwrap();
+        assert!(matches!(e, Expr::Binary(BinaryAstOp::Add, _, _)));
+    }
+
+    #[test]
+    fn selects_and_concat() {
+        let e = parse_expression("x[3]").unwrap();
+        assert!(matches!(e, Expr::Index(_, _)));
+        let e = parse_expression("x[7:4]").unwrap();
+        assert!(matches!(e, Expr::Range(_, _, _)));
+        let e = parse_expression("{a, b, 2'b01}").unwrap();
+        assert!(matches!(e, Expr::Concat(ref v) if v.len() == 3));
+        let e = parse_expression("{4{x}}").unwrap();
+        assert!(matches!(e, Expr::Repl(_, _)));
+    }
+
+    #[test]
+    fn ternary() {
+        let e = parse_expression("sel ? a : b").unwrap();
+        assert!(matches!(e, Expr::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn system_calls() {
+        let e = parse_expression("$countones(x)").unwrap();
+        assert!(matches!(e, Expr::Call(ref n, ref a) if n == "$countones" && a.len() == 1));
+    }
+
+    #[test]
+    fn module_with_params_and_assign() {
+        let src = r#"
+module modn #(parameter N = 10) (input clk, rst, output logic [3:0] cnt);
+  localparam MAX = N - 1;
+  logic [3:0] next_cnt;
+  assign next_cnt = (cnt == MAX) ? 4'd0 : cnt + 4'd1;
+  always_ff @(posedge clk) begin
+    if (rst) cnt <= '0;
+    else cnt <= next_cnt;
+  end
+endmodule
+"#;
+        let mods = parse_source(src).unwrap();
+        let m = &mods[0];
+        assert_eq!(m.header_params.len(), 1);
+        assert!(m.items.iter().any(|i| matches!(i, Item::Param { name, .. } if name == "MAX")));
+        assert!(m.items.iter().any(|i| matches!(i, Item::Assign { target, .. } if target == "next_cnt")));
+    }
+
+    #[test]
+    fn case_statement() {
+        let src = r#"
+module fsm (input clk, input [1:0] sel, output logic [1:0] st);
+  always_ff @(posedge clk) begin
+    case (st)
+      2'd0: st <= 2'd1;
+      2'd1, 2'd2: st <= sel;
+      default: st <= 2'd0;
+    endcase
+  end
+endmodule
+"#;
+        let mods = parse_source(src).unwrap();
+        match &mods[0].items[0] {
+            Item::AlwaysFf { body, .. } => match body {
+                Stmt::Block(ss) => match &ss[0] {
+                    Stmt::Case { arms, default, .. } => {
+                        assert_eq!(arms.len(), 2);
+                        assert_eq!(arms[1].0.len(), 2);
+                        assert!(default.is_some());
+                    }
+                    other => panic!("expected case, got {other:?}"),
+                },
+                Stmt::Case { .. } => {}
+                other => panic!("expected block, got {other:?}"),
+            },
+            other => panic!("expected always_ff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn always_comb_and_star() {
+        let src = r#"
+module comb (input [3:0] a, b, output logic [3:0] y, z);
+  always_comb begin
+    y = a & b;
+  end
+  always @(*) begin
+    z = a | b;
+  end
+endmodule
+"#;
+        let mods = parse_source(src).unwrap();
+        let combs = mods[0]
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::AlwaysComb { .. }))
+            .count();
+        assert_eq!(combs, 2);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_source("module m (input clk; endmodule").unwrap_err();
+        assert!(err.pos.line >= 1);
+        assert!(err.to_string().contains("parse error"));
+        assert!(parse_expression("a +").is_err());
+        assert!(parse_expression("(a").is_err());
+        assert!(parse_expression("a b").is_err());
+    }
+
+    #[test]
+    fn multiple_modules() {
+        let src = "module a (); endmodule module b (); endmodule";
+        let mods = parse_source(src).unwrap();
+        assert_eq!(mods.len(), 2);
+        assert_eq!(mods[1].name, "b");
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end frontend tests: parse RTL text, elaborate to a transition
+//! system, and check behaviour with the genfv-ir simulator.
+
+use genfv_hdl::{elaborate, elaborate_with, parse_source, ElaborateOptions};
+use genfv_ir::{BitVecValue, Context, Simulator, TransitionSystem};
+
+fn build(src: &str) -> (Context, TransitionSystem) {
+    let module = parse_source(src).expect("parse").remove(0);
+    let mut ctx = Context::new();
+    let ts = elaborate(&mut ctx, &module).expect("elaborate");
+    (ctx, ts)
+}
+
+#[test]
+fn paper_sync_counters_elaborates_and_counts() {
+    let src = r#"
+module sync_counters (input clk, rst, output logic [31:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 32'b0;
+      count2 <= 32'b0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+"#;
+    let (ctx, ts) = build(src);
+    assert_eq!(ts.states().len(), 2);
+    assert_eq!(ts.inputs().len(), 1, "rst is an input; clk is implicit");
+
+    let c1 = ctx.find_symbol("count1").unwrap();
+    let c2 = ctx.find_symbol("count2").unwrap();
+    let rst = ctx.find_symbol("rst").unwrap();
+
+    // Reset-derived init must be zero.
+    let st = ts.find_state(c1).unwrap();
+    assert!(ctx.const_value(st.init.unwrap()).unwrap().is_zero());
+
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    for step in 0..10u64 {
+        assert_eq!(sim.get(c1).to_u64(), Some(step));
+        assert_eq!(sim.get(c2).to_u64(), Some(step));
+        sim.step();
+    }
+    // Asserting reset mid-run returns both to zero.
+    sim.set(rst, BitVecValue::from_u64(1, 1));
+    sim.step();
+    assert_eq!(sim.get(c1).to_u64(), Some(0));
+    assert_eq!(sim.get(c2).to_u64(), Some(0));
+}
+
+#[test]
+fn modn_counter_with_params_wraps() {
+    let src = r#"
+module modn #(parameter N = 10) (input clk, rst, output logic [7:0] cnt);
+  localparam MAX = N - 1;
+  always_ff @(posedge clk) begin
+    if (rst) cnt <= '0;
+    else if (cnt == MAX) cnt <= '0;
+    else cnt <= cnt + 8'd1;
+  end
+endmodule
+"#;
+    let (ctx, ts) = build(src);
+    let cnt = ctx.find_symbol("cnt").unwrap();
+    let rst = ctx.find_symbol("rst").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    for step in 0..25u64 {
+        assert_eq!(sim.get(cnt).to_u64(), Some(step % 10), "step {step}");
+        sim.step();
+    }
+}
+
+#[test]
+fn parameter_override() {
+    let src = r#"
+module modn #(parameter N = 10) (input clk, rst, output logic [7:0] cnt);
+  always_ff @(posedge clk) begin
+    if (rst) cnt <= '0;
+    else if (cnt == N - 1) cnt <= '0;
+    else cnt <= cnt + 8'd1;
+  end
+endmodule
+"#;
+    let module = parse_source(src).unwrap().remove(0);
+    let mut ctx = Context::new();
+    let opts = ElaborateOptions { params: vec![("N".to_string(), 4)], ..Default::default() };
+    let ts = elaborate_with(&mut ctx, &module, &opts).unwrap();
+    let cnt = ctx.find_symbol("cnt").unwrap();
+    let rst = ctx.find_symbol("rst").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    for step in 0..12u64 {
+        assert_eq!(sim.get(cnt).to_u64(), Some(step % 4));
+        sim.step();
+    }
+}
+
+#[test]
+fn assign_and_always_comb() {
+    let src = r#"
+module comb_mix (input clk, rst, input [3:0] a, b, output logic [3:0] y, output logic [3:0] r);
+  logic [3:0] m;
+  assign y = a ^ b;
+  always_comb begin
+    if (a < b) m = b - a;
+    else m = a - b;
+  end
+  always_ff @(posedge clk) begin
+    if (rst) r <= '0;
+    else r <= m;
+  end
+endmodule
+"#;
+    let (ctx, ts) = build(src);
+    let a = ctx.find_symbol("a").unwrap();
+    let b = ctx.find_symbol("b").unwrap();
+    let rst = ctx.find_symbol("rst").unwrap();
+    let r = ctx.find_symbol("r").unwrap();
+    let y = ts.find_signal("y").unwrap();
+    let m = ts.find_signal("m").unwrap();
+
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    sim.set(a, BitVecValue::from_u64(3, 4));
+    sim.set(b, BitVecValue::from_u64(9, 4));
+    assert_eq!(sim.peek(y).to_u64(), Some(3 ^ 9));
+    assert_eq!(sim.peek(m).to_u64(), Some(6), "|a-b|");
+    sim.step();
+    assert_eq!(sim.get(r).to_u64(), Some(6), "registered difference");
+}
+
+#[test]
+fn case_statement_fsm() {
+    let src = r#"
+module gray2 (input clk, rst, output logic [1:0] g);
+  always_ff @(posedge clk) begin
+    if (rst) g <= 2'b00;
+    else case (g)
+      2'b00: g <= 2'b01;
+      2'b01: g <= 2'b11;
+      2'b11: g <= 2'b10;
+      default: g <= 2'b00;
+    endcase
+  end
+endmodule
+"#;
+    let (ctx, ts) = build(src);
+    let g = ctx.find_symbol("g").unwrap();
+    let rst = ctx.find_symbol("rst").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    let expected = [0b00u64, 0b01, 0b11, 0b10, 0b00, 0b01];
+    for &e in &expected {
+        assert_eq!(sim.get(g).to_u64(), Some(e));
+        sim.step();
+    }
+}
+
+#[test]
+fn xor_parity_with_reduction_and_concat() {
+    let src = r#"
+module parity (input clk, rst, input [7:0] d, output logic p, output logic [8:0] coded);
+  assign p = ^d;
+  assign coded = {d, ^d};
+endmodule
+"#;
+    let (ctx, ts) = build(src);
+    let d = ctx.find_symbol("d").unwrap();
+    let p = ts.find_signal("p").unwrap();
+    let coded = ts.find_signal("coded").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.set(d, BitVecValue::from_u64(0b1011_0001, 8));
+    assert_eq!(sim.peek(p).to_u64(), Some(0), "even number of ones");
+    assert_eq!(sim.peek(coded).to_u64(), Some(0b1011_0001_0));
+    sim.set(d, BitVecValue::from_u64(0b1011_0011, 8));
+    assert_eq!(sim.peek(p).to_u64(), Some(1));
+}
+
+#[test]
+fn shift_register_with_replication() {
+    let src = r#"
+module shifty (input clk, rst, input din, output logic [3:0] sr);
+  always_ff @(posedge clk) begin
+    if (rst) sr <= {4{1'b0}};
+    else sr <= {sr[2:0], din};
+  end
+endmodule
+"#;
+    let (ctx, ts) = build(src);
+    let sr = ctx.find_symbol("sr").unwrap();
+    let din = ctx.find_symbol("din").unwrap();
+    let rst = ctx.find_symbol("rst").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    for bit in [1u64, 1, 0, 1] {
+        sim.set(din, BitVecValue::from_u64(bit, 1));
+        sim.step();
+    }
+    assert_eq!(sim.get(sr).to_u64(), Some(0b1101));
+}
+
+#[test]
+fn errors_reported() {
+    // Undeclared net.
+    let src = "module bad (input clk); always_ff @(posedge clk) x <= 1'b1; endmodule";
+    let module = parse_source(src).unwrap().remove(0);
+    let mut ctx = Context::new();
+    let err = elaborate(&mut ctx, &module).unwrap_err();
+    assert!(err.to_string().contains("no declaration"), "{err}");
+
+    // Combinational cycle.
+    let src = r#"
+module cyc (input clk, output logic [3:0] a, b);
+  assign a = b + 4'd1;
+  assign b = a + 4'd1;
+endmodule
+"#;
+    let module = parse_source(src).unwrap().remove(0);
+    let mut ctx = Context::new();
+    let err = elaborate(&mut ctx, &module).unwrap_err();
+    assert!(err.to_string().contains("cycle"), "{err}");
+
+    // Latch in always_comb.
+    let src = r#"
+module latchy (input clk, input s, output logic [3:0] q);
+  always_comb begin
+    if (s) q = 4'd1;
+  end
+endmodule
+"#;
+    let module = parse_source(src).unwrap().remove(0);
+    let mut ctx = Context::new();
+    let err = elaborate(&mut ctx, &module).unwrap_err();
+    assert!(err.to_string().contains("unassigned") || err.to_string().contains("latch"), "{err}");
+
+    // Multiply driven.
+    let src = r#"
+module dd (input clk, output logic [3:0] q);
+  assign q = 4'd1;
+  assign q = 4'd2;
+endmodule
+"#;
+    let module = parse_source(src).unwrap().remove(0);
+    let mut ctx = Context::new();
+    let err = elaborate(&mut ctx, &module).unwrap_err();
+    assert!(err.to_string().contains("multiply driven"), "{err}");
+}
+
+#[test]
+fn non_constant_reset_leaves_init_free() {
+    // Register reset to an input value: init cannot be a constant.
+    let src = r#"
+module loadreg (input clk, rst, input [3:0] seed, output logic [3:0] q);
+  always_ff @(posedge clk) begin
+    if (rst) q <= seed;
+    else q <= q + 4'd1;
+  end
+endmodule
+"#;
+    let (ctx, ts) = build(src);
+    let q = ctx.find_symbol("q").unwrap();
+    assert!(ts.find_state(q).unwrap().init.is_none());
+}
+
+#[test]
+fn sync_and_async_reset_equivalent_here() {
+    let src_async = r#"
+module a1 (input clk, rst, output logic [3:0] q);
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= '0; else q <= q + 4'd1;
+  end
+endmodule
+"#;
+    let src_sync = r#"
+module a2 (input clk, rst, output logic [3:0] q);
+  always_ff @(posedge clk) begin
+    if (rst) q <= '0; else q <= q + 4'd1;
+  end
+endmodule
+"#;
+    for src in [src_async, src_sync] {
+        let (ctx, ts) = build(src);
+        let q = ctx.find_symbol("q").unwrap();
+        let st = ts.find_state(q).unwrap();
+        assert!(ctx.const_value(st.init.unwrap()).unwrap().is_zero());
+    }
+}

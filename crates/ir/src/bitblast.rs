@@ -1,0 +1,501 @@
+//! Bit-blasting: lowering word-level expressions to CNF.
+//!
+//! [`BitBlaster`] owns a [`CnfBuilder`] (and thus a SAT solver) and converts
+//! [`ExprRef`]s into little-endian vectors of literals. A [`LitEnv`] holds
+//! the symbol bindings and the structural cache for one *instance* of the
+//! expressions — the model checker keeps one `LitEnv` per unrolled frame
+//! over a single shared solver.
+
+use crate::expr::{BinaryOp, Context, Expr, ExprRef, UnaryOp};
+use crate::value::BitVecValue;
+use genfv_sat::{CnfBuilder, Lit, SolveResult, Solver};
+use std::collections::HashMap;
+
+/// Per-instance binding of expressions to literal vectors.
+///
+/// Binding the same `Context` through two different `LitEnv`s yields two
+/// independent copies of the logic (used for unrolling a transition system
+/// over time).
+#[derive(Clone, Debug, Default)]
+pub struct LitEnv {
+    map: HashMap<ExprRef, Vec<Lit>>,
+}
+
+impl LitEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        LitEnv::default()
+    }
+
+    /// Binds a symbol (or any expression) to the given literals.
+    ///
+    /// # Panics
+    /// Panics if `e` is already bound to different literals.
+    pub fn bind(&mut self, e: ExprRef, lits: Vec<Lit>) {
+        if let Some(prev) = self.map.get(&e) {
+            assert_eq!(prev, &lits, "conflicting rebinding of {e:?}");
+            return;
+        }
+        self.map.insert(e, lits);
+    }
+
+    /// Looks up the literals bound to `e`, if any.
+    pub fn lookup(&self, e: ExprRef) -> Option<&[Lit]> {
+        self.map.get(&e).map(|v| v.as_slice())
+    }
+}
+
+/// Lowers expressions over a [`Context`] into a CNF formula.
+///
+/// ```
+/// use genfv_ir::{Context, BitBlaster, LitEnv};
+///
+/// let mut ctx = Context::new();
+/// let a = ctx.symbol("a", 4);
+/// let b = ctx.symbol("b", 4);
+/// let eq = ctx.eq(a, b);
+/// let mut bb = BitBlaster::new();
+/// let mut env = LitEnv::new();
+/// let eq_lits = bb.blast(&ctx, &mut env, eq);
+/// bb.assert_lit(eq_lits[0]);
+/// assert!(bb.solver_mut().solve().is_sat());
+/// ```
+#[derive(Debug, Default)]
+pub struct BitBlaster {
+    builder: CnfBuilder,
+}
+
+impl BitBlaster {
+    /// Creates a blaster with a fresh solver.
+    pub fn new() -> Self {
+        BitBlaster { builder: CnfBuilder::new() }
+    }
+
+    /// Allocates `width` fresh unconstrained literals (LSB first).
+    pub fn fresh_lits(&mut self, width: u32) -> Vec<Lit> {
+        (0..width).map(|_| self.builder.fresh()).collect()
+    }
+
+    /// Asserts a single literal at the top level.
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.builder.assert_lit(l);
+    }
+
+    /// Asserts that two literal vectors are equal bit-for-bit.
+    pub fn assert_equal(&mut self, a: &[Lit], b: &[Lit]) {
+        assert_eq!(a.len(), b.len(), "assert_equal width mismatch");
+        for (&x, &y) in a.iter().zip(b) {
+            let eq = self.builder.iff(x, y);
+            self.builder.assert_lit(eq);
+        }
+    }
+
+    /// The constant-true literal.
+    pub fn true_lit(&self) -> Lit {
+        self.builder.true_lit()
+    }
+
+    /// The constant-false literal.
+    pub fn false_lit(&self) -> Lit {
+        self.builder.false_lit()
+    }
+
+    /// Access to the underlying solver (for `solve`, models, budgets).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        self.builder.solver_mut()
+    }
+
+    /// Shared access to the underlying solver.
+    pub fn solver(&self) -> &Solver {
+        self.builder.solver()
+    }
+
+    /// Convenience: solve under assumptions.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.builder.solver_mut().solve_with_assumptions(assumptions)
+    }
+
+    /// Reads the value of a blasted vector from the last model; unassigned
+    /// bits default to 0.
+    pub fn read_model_value(&self, lits: &[Lit]) -> BitVecValue {
+        let bits: Vec<bool> =
+            lits.iter().map(|&l| self.builder.solver().value(l).unwrap_or(false)).collect();
+        BitVecValue::from_bits_lsb_first(&bits)
+    }
+
+    /// Lowers `e` under `env`, creating fresh literals for unbound symbols
+    /// (recorded in `env` so later references share them).
+    pub fn blast(&mut self, ctx: &Context, env: &mut LitEnv, e: ExprRef) -> Vec<Lit> {
+        if let Some(lits) = env.map.get(&e) {
+            return lits.clone();
+        }
+        let lits: Vec<Lit> = match ctx.expr(e) {
+            Expr::Const(v) => {
+                (0..v.width()).map(|i| self.builder.constant(v.bit(i))).collect()
+            }
+            Expr::Symbol { width, .. } => self.fresh_lits(*width),
+            Expr::Unary(op, a) => {
+                let la = self.blast(ctx, env, *a);
+                match op {
+                    UnaryOp::Not => la.iter().map(|&l| !l).collect(),
+                    UnaryOp::Neg => {
+                        let inverted: Vec<Lit> = la.iter().map(|&l| !l).collect();
+                        let one = self.const_lits(&BitVecValue::from_u64(1, la.len() as u32));
+                        self.ripple_add(&inverted, &one).0
+                    }
+                    UnaryOp::RedAnd => vec![self.builder.and_many(la)],
+                    UnaryOp::RedOr => vec![self.builder.or_many(la)],
+                    UnaryOp::RedXor => {
+                        let mut acc = self.builder.false_lit();
+                        for l in la {
+                            acc = self.builder.xor(acc, l);
+                        }
+                        vec![acc]
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let la = self.blast(ctx, env, *a);
+                let lb = self.blast(ctx, env, *b);
+                match op {
+                    BinaryOp::And => self.zip_gate(&la, &lb, |bld, x, y| bld.and(x, y)),
+                    BinaryOp::Or => self.zip_gate(&la, &lb, |bld, x, y| bld.or(x, y)),
+                    BinaryOp::Xor => self.zip_gate(&la, &lb, |bld, x, y| bld.xor(x, y)),
+                    BinaryOp::Add => self.ripple_add(&la, &lb).0,
+                    BinaryOp::Sub => {
+                        let nb: Vec<Lit> = lb.iter().map(|&l| !l).collect();
+                        self.ripple_add_carry(&la, &nb, self.builder.true_lit()).0
+                    }
+                    BinaryOp::Mul => self.shift_add_mul(&la, &lb),
+                    BinaryOp::Udiv => self.divider(&la, &lb).0,
+                    BinaryOp::Urem => self.divider(&la, &lb).1,
+                    BinaryOp::Eq => vec![self.equal_lit(&la, &lb)],
+                    BinaryOp::Ult => vec![self.ult_lit(&la, &lb)],
+                    BinaryOp::Ule => {
+                        let gt = self.ult_lit(&lb, &la);
+                        vec![!gt]
+                    }
+                    BinaryOp::Slt => {
+                        // Flip sign bits, then unsigned compare.
+                        let mut fa = la.clone();
+                        let mut fb = lb.clone();
+                        let last = fa.len() - 1;
+                        fa[last] = !fa[last];
+                        fb[last] = !fb[last];
+                        vec![self.ult_lit(&fa, &fb)]
+                    }
+                    BinaryOp::Concat => {
+                        // a is high, b is low; LSB-first means b then a.
+                        let mut out = lb.clone();
+                        out.extend_from_slice(&la);
+                        out
+                    }
+                    BinaryOp::Shl => self.barrel_shift(&la, &lb, ShiftDir::Left),
+                    BinaryOp::Lshr => self.barrel_shift(&la, &lb, ShiftDir::Right),
+                }
+            }
+            Expr::Ite { cond, tru, fls } => {
+                let lc = self.blast(ctx, env, *cond)[0];
+                let lt = self.blast(ctx, env, *tru);
+                let le = self.blast(ctx, env, *fls);
+                lt.iter().zip(&le).map(|(&t, &f)| self.builder.ite(lc, t, f)).collect()
+            }
+            Expr::Extract { value, hi, lo } => {
+                let lv = self.blast(ctx, env, *value);
+                lv[*lo as usize..=*hi as usize].to_vec()
+            }
+        };
+        debug_assert_eq!(lits.len() as u32, ctx.width_of(e), "blasted width mismatch");
+        env.map.insert(e, lits.clone());
+        lits
+    }
+
+    // --- gate-level helpers -------------------------------------------------
+
+    fn const_lits(&mut self, v: &BitVecValue) -> Vec<Lit> {
+        (0..v.width()).map(|i| self.builder.constant(v.bit(i))).collect()
+    }
+
+    fn zip_gate(
+        &mut self,
+        a: &[Lit],
+        b: &[Lit],
+        mut gate: impl FnMut(&mut CnfBuilder, Lit, Lit) -> Lit,
+    ) -> Vec<Lit> {
+        a.iter().zip(b).map(|(&x, &y)| gate(&mut self.builder, x, y)).collect()
+    }
+
+    /// Ripple-carry addition; returns `(sum, carry_out)`.
+    fn ripple_add(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+        let cin = self.builder.false_lit();
+        self.ripple_add_carry(a, b, cin)
+    }
+
+    fn ripple_add_carry(&mut self, a: &[Lit], b: &[Lit], mut carry: Lit) -> (Vec<Lit>, Lit) {
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.builder.xor(x, y);
+            let s = self.builder.xor(xy, carry);
+            // carry' = (x & y) | (carry & (x ^ y))
+            let and1 = self.builder.and(x, y);
+            let and2 = self.builder.and(carry, xy);
+            carry = self.builder.or(and1, and2);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// O(n²) shift-and-add multiplier (truncating).
+    fn shift_add_mul(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc: Vec<Lit> = vec![self.builder.false_lit(); w];
+        for i in 0..w {
+            // partial = (a << i) masked by b[i]
+            let mut partial: Vec<Lit> = Vec::with_capacity(w);
+            for j in 0..w {
+                if j < i {
+                    partial.push(self.builder.false_lit());
+                } else {
+                    let p = self.builder.and(a[j - i], b[i]);
+                    partial.push(p);
+                }
+            }
+            acc = self.ripple_add(&acc, &partial).0;
+        }
+        acc
+    }
+
+    /// Restoring-division circuit; returns `(quotient, remainder)` with
+    /// the SMT-LIB division-by-zero convention (q = all-ones, r = a).
+    fn divider(&mut self, a: &[Lit], d: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let fl = self.builder.false_lit();
+        let mut r: Vec<Lit> = vec![fl; w];
+        let mut q: Vec<Lit> = vec![fl; w];
+        for i in (0..w).rev() {
+            // r' = (r << 1) | a[i]
+            let mut shifted = Vec::with_capacity(w);
+            shifted.push(a[i]);
+            shifted.extend_from_slice(&r[..w - 1]);
+            // ge = shifted >= d
+            let lt = self.ult_lit(&shifted, d);
+            let ge = !lt;
+            // diff = shifted - d
+            let nd: Vec<Lit> = d.iter().map(|&l| !l).collect();
+            let tl = self.builder.true_lit();
+            let (diff, _) = self.ripple_add_carry(&shifted, &nd, tl);
+            r = shifted
+                .iter()
+                .zip(&diff)
+                .map(|(&keep, &sub)| self.builder.ite(ge, sub, keep))
+                .collect();
+            q[i] = ge;
+        }
+        // Division by zero: quotient all-ones, remainder = dividend.
+        let d_nonzero = self.builder.or_many(d.iter().copied());
+        let d_zero = !d_nonzero;
+        let tl = self.builder.true_lit();
+        let q = q.iter().map(|&l| self.builder.ite(d_zero, tl, l)).collect();
+        let r = r.iter().zip(a).map(|(&l, &ai)| self.builder.ite(d_zero, ai, l)).collect();
+        (q, r)
+    }
+
+    fn equal_lit(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.builder.true_lit();
+        for (&x, &y) in a.iter().zip(b) {
+            let eq = self.builder.iff(x, y);
+            acc = self.builder.and(acc, eq);
+        }
+        acc
+    }
+
+    /// a < b (unsigned): the borrow out of a - b.
+    fn ult_lit(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+        let (_, carry) = self.ripple_add_carry(a, &nb, self.builder.true_lit());
+        // carry==1 ⇔ a >= b, so a < b ⇔ !carry.
+        !carry
+    }
+
+    fn barrel_shift(&mut self, a: &[Lit], amount: &[Lit], dir: ShiftDir) -> Vec<Lit> {
+        let w = a.len();
+        let mut current = a.to_vec();
+        let mut overflow = self.builder.false_lit();
+        for (s, &bit) in amount.iter().enumerate() {
+            let shift = 1usize.checked_shl(s as u32);
+            match shift {
+                Some(sh) if sh < w => {
+                    let shifted: Vec<Lit> = (0..w)
+                        .map(|i| match dir {
+                            ShiftDir::Left => {
+                                if i >= sh {
+                                    current[i - sh]
+                                } else {
+                                    self.builder.false_lit()
+                                }
+                            }
+                            ShiftDir::Right => {
+                                if i + sh < w {
+                                    current[i + sh]
+                                } else {
+                                    self.builder.false_lit()
+                                }
+                            }
+                        })
+                        .collect();
+                    current = current
+                        .iter()
+                        .zip(&shifted)
+                        .map(|(&keep, &shf)| self.builder.ite(bit, shf, keep))
+                        .collect();
+                }
+                _ => {
+                    // This amount bit alone shifts everything out.
+                    overflow = self.builder.or(overflow, bit);
+                }
+            }
+        }
+        let zero = self.builder.false_lit();
+        current.iter().map(|&l| self.builder.ite(overflow, zero, l)).collect()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ShiftDir {
+    Left,
+    Right,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Blasts `e`, fixes the symbols to the given values, solves, and reads
+    /// back the result vector.
+    fn blast_and_eval(
+        ctx: &Context,
+        bindings: &[(ExprRef, BitVecValue)],
+        e: ExprRef,
+    ) -> BitVecValue {
+        let mut bb = BitBlaster::new();
+        let mut env = LitEnv::new();
+        let lits = bb.blast(ctx, &mut env, e);
+        for (sym, val) in bindings {
+            let sl = bb.blast(ctx, &mut env, *sym);
+            let cl = bb.const_lits(val);
+            bb.assert_equal(&sl, &cl);
+        }
+        assert!(bb.solver_mut().solve().is_sat());
+        bb.read_model_value(&lits)
+    }
+
+    #[test]
+    fn add_blast_matches() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 8);
+        let b = ctx.symbol("b", 8);
+        let s = ctx.add(a, b);
+        let got = blast_and_eval(
+            &ctx,
+            &[(a, BitVecValue::from_u64(200, 8)), (b, BitVecValue::from_u64(100, 8))],
+            s,
+        );
+        assert_eq!(got.to_u64(), Some((200u64 + 100) & 0xFF));
+    }
+
+    #[test]
+    fn mul_blast_matches() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 6);
+        let b = ctx.symbol("b", 6);
+        let m = ctx.mul(a, b);
+        let got = blast_and_eval(
+            &ctx,
+            &[(a, BitVecValue::from_u64(13, 6)), (b, BitVecValue::from_u64(9, 6))],
+            m,
+        );
+        assert_eq!(got.to_u64(), Some((13u64 * 9) & 0x3F));
+    }
+
+    #[test]
+    fn comparison_blast_matches() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 4);
+        let b = ctx.symbol("b", 4);
+        let cases = [(3u64, 5u64, true), (5, 3, false), (7, 7, false)];
+        for (va, vb, expect) in cases {
+            let lt = ctx.ult(a, b);
+            let got = blast_and_eval(
+                &ctx,
+                &[(a, BitVecValue::from_u64(va, 4)), (b, BitVecValue::from_u64(vb, 4))],
+                lt,
+            );
+            assert_eq!(got.to_bool(), expect, "{va} < {vb}");
+        }
+    }
+
+    #[test]
+    fn slt_blast_matches() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 4);
+        let b = ctx.symbol("b", 4);
+        let lt = ctx.slt(a, b);
+        // -1 (0xF) < 0 signed.
+        let got = blast_and_eval(
+            &ctx,
+            &[(a, BitVecValue::from_u64(0xF, 4)), (b, BitVecValue::from_u64(0, 4))],
+            lt,
+        );
+        assert!(got.to_bool());
+    }
+
+    #[test]
+    fn shift_blast_matches() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 8);
+        let sh = ctx.symbol("sh", 8);
+        for (va, vs, expl, expr) in
+            [(0b1011u64, 1u64, 0b10110u64, 0b101u64), (0xFF, 8, 0, 0), (0xFF, 200, 0, 0)]
+        {
+            let l = ctx.shl(a, sh);
+            let r = ctx.lshr(a, sh);
+            let bindings =
+                [(a, BitVecValue::from_u64(va, 8)), (sh, BitVecValue::from_u64(vs, 8))];
+            assert_eq!(blast_and_eval(&ctx, &bindings, l).to_u64(), Some(expl & 0xFF));
+            assert_eq!(blast_and_eval(&ctx, &bindings, r).to_u64(), Some(expr));
+        }
+    }
+
+    #[test]
+    fn shared_env_shares_symbols() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 4);
+        let one = ctx.constant(1, 4);
+        let inc = ctx.add(a, one);
+        let mut bb = BitBlaster::new();
+        let mut env = LitEnv::new();
+        let l1 = bb.blast(&ctx, &mut env, inc);
+        let l2 = bb.blast(&ctx, &mut env, inc);
+        assert_eq!(l1, l2, "cache hit for identical expression");
+        // Distinct envs produce distinct literals.
+        let mut env2 = LitEnv::new();
+        let l3 = bb.blast(&ctx, &mut env2, inc);
+        assert_ne!(l1, l3);
+    }
+
+    #[test]
+    fn unsat_when_constrained_impossible() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 4);
+        let b = ctx.symbol("b", 4);
+        let e1 = ctx.ult(a, b);
+        let e2 = ctx.ult(b, a);
+        let mut bb = BitBlaster::new();
+        let mut env = LitEnv::new();
+        let l1 = bb.blast(&ctx, &mut env, e1);
+        let l2 = bb.blast(&ctx, &mut env, e2);
+        bb.assert_lit(l1[0]);
+        bb.assert_lit(l2[0]);
+        assert!(bb.solver_mut().solve().is_unsat(), "a<b and b<a cannot both hold");
+    }
+}

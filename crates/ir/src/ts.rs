@@ -1,0 +1,217 @@
+//! Word-level transition systems.
+//!
+//! A [`TransitionSystem`] is the elaborated form of an RTL design: a set of
+//! input symbols, state registers with initial-value and next-state
+//! functions, environment constraints, and named observable signals. The
+//! model checker in `genfv-mc` operates directly on this representation.
+
+use crate::expr::{Context, ExprRef};
+
+/// A state register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct State {
+    /// The symbol representing the register's current value.
+    pub symbol: ExprRef,
+    /// Initial-value expression; `None` leaves the power-up value free
+    /// (an arbitrary state, as in induction proofs).
+    pub init: Option<ExprRef>,
+    /// Next-state function, evaluated over current-cycle symbols.
+    pub next: ExprRef,
+}
+
+/// A named transition system (one elaborated RTL module).
+///
+/// ```
+/// use genfv_ir::{Context, TransitionSystem};
+/// let mut ctx = Context::new();
+/// let c = ctx.symbol("count", 8);
+/// let one = ctx.constant(1, 8);
+/// let next = ctx.add(c, one);
+/// let zero = ctx.constant(0, 8);
+/// let mut ts = TransitionSystem::new("counter");
+/// ts.add_state(c, Some(zero), next);
+/// assert_eq!(ts.states().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TransitionSystem {
+    name: String,
+    inputs: Vec<ExprRef>,
+    states: Vec<State>,
+    constraints: Vec<ExprRef>,
+    signals: Vec<(String, ExprRef)>,
+}
+
+impl TransitionSystem {
+    /// Creates an empty system with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TransitionSystem { name: name.into(), ..Default::default() }
+    }
+
+    /// The system (module) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers `symbol` as a free input.
+    pub fn add_input(&mut self, symbol: ExprRef) {
+        debug_assert!(!self.inputs.contains(&symbol), "duplicate input");
+        self.inputs.push(symbol);
+    }
+
+    /// Registers a state with optional init and a next-state function.
+    pub fn add_state(&mut self, symbol: ExprRef, init: Option<ExprRef>, next: ExprRef) {
+        debug_assert!(
+            !self.states.iter().any(|s| s.symbol == symbol),
+            "duplicate state register"
+        );
+        self.states.push(State { symbol, init, next });
+    }
+
+    /// Adds an environment constraint (assumed true in every cycle).
+    pub fn add_constraint(&mut self, cond: ExprRef) {
+        self.constraints.push(cond);
+    }
+
+    /// Publishes a named observable signal (port or internal net).
+    pub fn add_signal(&mut self, name: impl Into<String>, expr: ExprRef) {
+        self.signals.push((name.into(), expr));
+    }
+
+    /// The free inputs.
+    pub fn inputs(&self) -> &[ExprRef] {
+        &self.inputs
+    }
+
+    /// The state registers.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// The environment constraints.
+    pub fn constraints(&self) -> &[ExprRef] {
+        &self.constraints
+    }
+
+    /// The named observable signals, in declaration order.
+    pub fn signals(&self) -> &[(String, ExprRef)] {
+        &self.signals
+    }
+
+    /// Looks up a named signal.
+    pub fn find_signal(&self, name: &str) -> Option<ExprRef> {
+        self.signals.iter().find(|(n, _)| n == name).map(|(_, e)| *e)
+    }
+
+    /// Looks up the state record for a symbol.
+    pub fn find_state(&self, symbol: ExprRef) -> Option<&State> {
+        self.states.iter().find(|s| s.symbol == symbol)
+    }
+
+    /// Replaces the init expression of an existing state.
+    ///
+    /// # Panics
+    /// Panics if `symbol` is not a registered state.
+    pub fn set_state_init(&mut self, symbol: ExprRef, init: Option<ExprRef>) {
+        let s = self
+            .states
+            .iter_mut()
+            .find(|s| s.symbol == symbol)
+            .expect("set_state_init: unknown state");
+        s.init = init;
+    }
+
+    /// All symbols of the system (inputs then states), e.g. for binding.
+    pub fn all_symbols(&self) -> impl Iterator<Item = ExprRef> + '_ {
+        self.inputs.iter().copied().chain(self.states.iter().map(|s| s.symbol))
+    }
+
+    /// Human-readable description used in prompts and docs.
+    pub fn describe(&self, ctx: &Context) -> String {
+        let mut out = format!("module {}\n", self.name);
+        for &i in &self.inputs {
+            out.push_str(&format!(
+                "  input  [{}:0] {}\n",
+                ctx.width_of(i).saturating_sub(1),
+                ctx.symbol_name(i).unwrap_or("?")
+            ));
+        }
+        for s in &self.states {
+            let name = ctx.symbol_name(s.symbol).unwrap_or("?");
+            let w = ctx.width_of(s.symbol);
+            let init = match s.init {
+                Some(e) => ctx.display(e),
+                None => "X".to_string(),
+            };
+            out.push_str(&format!(
+                "  state  [{}:0] {name} init={init} next={}\n",
+                w.saturating_sub(1),
+                ctx.display(s.next)
+            ));
+        }
+        for c in &self.constraints {
+            out.push_str(&format!("  constraint {}\n", ctx.display(*c)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Context;
+
+    fn counter_ts(ctx: &mut Context) -> TransitionSystem {
+        let c = ctx.symbol("count", 8);
+        let one = ctx.constant(1, 8);
+        let zero = ctx.constant(0, 8);
+        let next = ctx.add(c, one);
+        let mut ts = TransitionSystem::new("counter");
+        ts.add_state(c, Some(zero), next);
+        ts.add_signal("count", c);
+        ts
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut ctx = Context::new();
+        let ts = counter_ts(&mut ctx);
+        assert_eq!(ts.name(), "counter");
+        assert_eq!(ts.states().len(), 1);
+        assert!(ts.find_signal("count").is_some());
+        assert!(ts.find_signal("nope").is_none());
+        let sym = ts.states()[0].symbol;
+        assert!(ts.find_state(sym).is_some());
+    }
+
+    #[test]
+    fn set_state_init_overrides() {
+        let mut ctx = Context::new();
+        let mut ts = counter_ts(&mut ctx);
+        let sym = ts.states()[0].symbol;
+        ts.set_state_init(sym, None);
+        assert_eq!(ts.states()[0].init, None);
+    }
+
+    #[test]
+    fn describe_mentions_parts() {
+        let mut ctx = Context::new();
+        let mut ts = counter_ts(&mut ctx);
+        let en = ctx.symbol("en", 1);
+        ts.add_input(en);
+        let d = ts.describe(&ctx);
+        assert!(d.contains("module counter"));
+        assert!(d.contains("state  [7:0] count"));
+        assert!(d.contains("input  [0:0] en"));
+    }
+
+    #[test]
+    fn all_symbols_order() {
+        let mut ctx = Context::new();
+        let mut ts = counter_ts(&mut ctx);
+        let en = ctx.symbol("en", 1);
+        ts.add_input(en);
+        let syms: Vec<_> = ts.all_symbols().collect();
+        assert_eq!(syms.len(), 2);
+        assert_eq!(syms[0], en, "inputs come first");
+    }
+}

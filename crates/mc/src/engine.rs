@@ -1,0 +1,394 @@
+//! Property checking: bounded model checking and k-induction.
+//!
+//! This module is the "formal tool" box of the paper's Figs. 1 and 2. The
+//! two entry points are [`bmc`] (find shallow bugs / sanity-check candidate
+//! lemmas) and [`KInduction::prove`] (unbounded proof with helper-lemma
+//! support). An inductive-step failure returns the counterexample trace
+//! that Flow 2 renders into the LLM prompt.
+
+use crate::trace::{read_symbol_cycles, Trace, TraceKind};
+use crate::unroll::Unroller;
+use genfv_ir::{Context, ExprRef, TransitionSystem};
+use genfv_sat::SolveResult;
+use std::time::{Duration, Instant};
+
+/// A property to check: a named 1-bit "ok every cycle" expression
+/// (typically produced by `genfv-sva`).
+#[derive(Clone, Debug)]
+pub struct Property {
+    /// Property name for reports and traces.
+    pub name: String,
+    /// 1-bit expression that must hold in every reachable state.
+    pub ok: ExprRef,
+}
+
+impl Property {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ok: ExprRef) -> Self {
+        Property { name: name.into(), ok }
+    }
+}
+
+/// Aggregated solver effort for one check.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// SAT conflicts consumed.
+    pub conflicts: u64,
+    /// SAT decisions consumed.
+    pub decisions: u64,
+    /// Propagations consumed.
+    pub propagations: u64,
+    /// Individual solver queries issued.
+    pub solver_calls: u64,
+    /// Wall-clock time.
+    pub duration: Duration,
+}
+
+/// Result of a bounded model-checking run.
+#[derive(Clone, Debug)]
+pub enum BmcResult {
+    /// No violation within the bound.
+    Clean {
+        /// The bound that was fully explored.
+        depth: usize,
+        /// Solver effort.
+        stats: CheckStats,
+    },
+    /// A reachable violation was found.
+    Falsified {
+        /// Cycle at which the violation completes.
+        at: usize,
+        /// The witness trace from reset.
+        trace: Trace,
+        /// Solver effort.
+        stats: CheckStats,
+    },
+}
+
+impl BmcResult {
+    /// Whether no violation was found.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, BmcResult::Clean { .. })
+    }
+}
+
+/// Result of a k-induction proof attempt.
+#[derive(Clone, Debug)]
+pub enum ProveResult {
+    /// The property holds in all reachable states; proven inductive at
+    /// depth `k` (with the lemmas that were supplied).
+    Proven {
+        /// Induction depth at which the step succeeded.
+        k: usize,
+        /// Solver effort.
+        stats: CheckStats,
+    },
+    /// A real counterexample from reset (base-case failure).
+    Falsified {
+        /// Cycle of the violation.
+        at: usize,
+        /// Witness trace.
+        trace: Trace,
+        /// Solver effort.
+        stats: CheckStats,
+    },
+    /// Every induction depth up to the configured maximum failed its step;
+    /// the deepest step counterexample is returned — this is the artefact
+    /// the paper's Flow 2 sends to the LLM.
+    StepFailure {
+        /// The depth of the reported step counterexample.
+        k: usize,
+        /// The inductive-step counterexample (arbitrary start state).
+        trace: Trace,
+        /// Solver effort.
+        stats: CheckStats,
+    },
+    /// A resource budget expired.
+    Unknown {
+        /// What ran out.
+        reason: String,
+        /// Solver effort.
+        stats: CheckStats,
+    },
+}
+
+impl ProveResult {
+    /// Whether the property was proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, ProveResult::Proven { .. })
+    }
+
+    /// The stats of whichever outcome occurred.
+    pub fn stats(&self) -> &CheckStats {
+        match self {
+            ProveResult::Proven { stats, .. }
+            | ProveResult::Falsified { stats, .. }
+            | ProveResult::StepFailure { stats, .. }
+            | ProveResult::Unknown { stats, .. } => stats,
+        }
+    }
+}
+
+/// Configuration for [`KInduction`] and [`bmc`].
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Maximum induction depth to attempt.
+    pub max_k: usize,
+    /// Add pairwise-distinct-state constraints in the step case (makes
+    /// k-induction complete for finite systems but is quadratic; the
+    /// paper's flow instead strengthens with lemmas, so default off).
+    pub simple_path: bool,
+    /// Conflict budget per solver query (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig { max_k: 10, simple_path: false, conflict_budget: None }
+    }
+}
+
+fn snapshot(bb: &genfv_ir::BitBlaster) -> (u64, u64, u64) {
+    let s = bb.solver().stats();
+    (s.conflicts, s.decisions, s.propagations)
+}
+
+fn add_delta(stats: &mut CheckStats, bb: &genfv_ir::BitBlaster, before: (u64, u64, u64)) {
+    let s = bb.solver().stats();
+    stats.conflicts += s.conflicts - before.0;
+    stats.decisions += s.decisions - before.1;
+    stats.propagations += s.propagations - before.2;
+    stats.solver_calls += 1;
+}
+
+/// Bounded model checking of `property` (plus always-assumed `lemmas`) up
+/// to `depth` cycles from reset.
+///
+/// Lemmas are *assumed* at every cycle — callers must only pass lemmas that
+/// are themselves proven (or are being sanity-checked, as in candidate
+/// validation where a `Falsified` answer is the useful signal).
+pub fn bmc(
+    ctx: &Context,
+    ts: &TransitionSystem,
+    property: &Property,
+    lemmas: &[ExprRef],
+    depth: usize,
+    config: &CheckConfig,
+) -> BmcResult {
+    let start = Instant::now();
+    let mut stats = CheckStats::default();
+    let mut unroller = Unroller::new(ctx, ts, true);
+    for k in 0..=depth {
+        unroller.ensure_frame(k);
+        for &lemma in lemmas {
+            let l = unroller.lit_at(k, lemma);
+            unroller.blaster_mut().assert_lit(l);
+        }
+        let bad = {
+            let ok = unroller.lit_at(k, property.ok);
+            !ok
+        };
+        if let Some(b) = config.conflict_budget {
+            unroller.blaster_mut().solver_mut().set_conflict_budget(b);
+        }
+        let before = snapshot(unroller.blaster());
+        let res = unroller.blaster_mut().solve_with_assumptions(&[bad]);
+        add_delta(&mut stats, unroller.blaster(), before);
+        match res {
+            SolveResult::Sat => {
+                let cycles =
+                    read_symbol_cycles(ctx, ts, unroller.blaster(), &unroller.frames()[..=k]);
+                let trace = Trace::from_symbol_cycles(
+                    ctx,
+                    ts,
+                    &property.name,
+                    TraceKind::CounterexampleFromReset,
+                    &cycles,
+                );
+                stats.duration = start.elapsed();
+                return BmcResult::Falsified { at: k, trace, stats };
+            }
+            SolveResult::Unsat => {}
+            SolveResult::Unknown => {
+                // Budget exhausted: report what we know (clean so far).
+                stats.duration = start.elapsed();
+                return BmcResult::Clean { depth: k.saturating_sub(1), stats };
+            }
+        }
+    }
+    stats.duration = start.elapsed();
+    BmcResult::Clean { depth, stats }
+}
+
+/// K-induction prover with helper-lemma support.
+///
+/// The step case assumes, at every frame, the environment constraints, the
+/// supplied lemmas, and the property itself at frames `0..k`; it then asks
+/// whether the property can fail at frame `k`. The base case is plain BMC
+/// over `k` frames. This is the classic strengthened-induction scheme the
+/// paper builds on (Section II-A).
+#[derive(Debug)]
+pub struct KInduction<'c> {
+    ctx: &'c Context,
+    ts: &'c TransitionSystem,
+    config: CheckConfig,
+}
+
+impl<'c> KInduction<'c> {
+    /// Creates a prover for one design.
+    pub fn new(ctx: &'c Context, ts: &'c TransitionSystem, config: CheckConfig) -> Self {
+        KInduction { ctx, ts, config }
+    }
+
+    /// Attempts to prove `property` invariant, assuming `lemmas` (which
+    /// must already be proven invariants — see [`bmc`] for the validation
+    /// path used by the GenAI flows before lemmas get here).
+    pub fn prove(&self, property: &Property, lemmas: &[ExprRef]) -> ProveResult {
+        let start = Instant::now();
+        let mut stats = CheckStats::default();
+
+        let mut base = Unroller::new(self.ctx, self.ts, true);
+        let mut step = Unroller::new(self.ctx, self.ts, false);
+        let mut last_step_cex: Option<(usize, Trace)> = None;
+
+        // Frame 0 of both directions carries the lemmas.
+        base.ensure_frame(0);
+        step.ensure_frame(0);
+        for &lemma in lemmas {
+            let l = base.lit_at(0, lemma);
+            base.blaster_mut().assert_lit(l);
+            let l = step.lit_at(0, lemma);
+            step.blaster_mut().assert_lit(l);
+        }
+
+        for k in 1..=self.config.max_k {
+            // --- base case: no violation in cycles 0..k from reset -------
+            base.ensure_frame(k - 1);
+            for &lemma in lemmas {
+                let l = base.lit_at(k - 1, lemma);
+                base.blaster_mut().assert_lit(l);
+            }
+            let bad_base = {
+                let ok = base.lit_at(k - 1, property.ok);
+                !ok
+            };
+            if let Some(b) = self.config.conflict_budget {
+                base.blaster_mut().solver_mut().set_conflict_budget(b);
+            }
+            let before = snapshot(base.blaster());
+            let res = base.blaster_mut().solve_with_assumptions(&[bad_base]);
+            add_delta(&mut stats, base.blaster(), before);
+            match res {
+                SolveResult::Sat => {
+                    let cycles = read_symbol_cycles(
+                        self.ctx,
+                        self.ts,
+                        base.blaster(),
+                        &base.frames()[..k],
+                    );
+                    let trace = Trace::from_symbol_cycles(
+                        self.ctx,
+                        self.ts,
+                        &property.name,
+                        TraceKind::CounterexampleFromReset,
+                        &cycles,
+                    );
+                    stats.duration = start.elapsed();
+                    return ProveResult::Falsified { at: k - 1, trace, stats };
+                }
+                SolveResult::Unsat => {}
+                SolveResult::Unknown => {
+                    stats.duration = start.elapsed();
+                    return ProveResult::Unknown {
+                        reason: format!("base-case budget exhausted at k={k}"),
+                        stats,
+                    };
+                }
+            }
+
+            // --- step case ------------------------------------------------
+            step.ensure_frame(k);
+            for &lemma in lemmas {
+                let l = step.lit_at(k, lemma);
+                step.blaster_mut().assert_lit(l);
+            }
+            // Property assumed at frames 0..k (asserted permanently — sound
+            // because deeper iterations only extend the window).
+            let ok_prev = step.lit_at(k - 1, property.ok);
+            step.blaster_mut().assert_lit(ok_prev);
+            if self.config.simple_path {
+                step.assert_simple_path(k);
+            }
+            let bad_step = {
+                let ok = step.lit_at(k, property.ok);
+                !ok
+            };
+            if let Some(b) = self.config.conflict_budget {
+                step.blaster_mut().solver_mut().set_conflict_budget(b);
+            }
+            let before = snapshot(step.blaster());
+            let res = step.blaster_mut().solve_with_assumptions(&[bad_step]);
+            add_delta(&mut stats, step.blaster(), before);
+            match res {
+                SolveResult::Unsat => {
+                    stats.duration = start.elapsed();
+                    return ProveResult::Proven { k, stats };
+                }
+                SolveResult::Sat => {
+                    let cycles = read_symbol_cycles(
+                        self.ctx,
+                        self.ts,
+                        step.blaster(),
+                        step.frames(),
+                    );
+                    let trace = Trace::from_symbol_cycles(
+                        self.ctx,
+                        self.ts,
+                        &property.name,
+                        TraceKind::InductionStep,
+                        &cycles,
+                    );
+                    last_step_cex = Some((k, trace));
+                }
+                SolveResult::Unknown => {
+                    stats.duration = start.elapsed();
+                    return ProveResult::Unknown {
+                        reason: format!("step-case budget exhausted at k={k}"),
+                        stats,
+                    };
+                }
+            }
+        }
+
+        stats.duration = start.elapsed();
+        match last_step_cex {
+            Some((k, trace)) => ProveResult::StepFailure { k, trace, stats },
+            None => ProveResult::Unknown {
+                reason: "no induction depth attempted (max_k = 0?)".to_string(),
+                stats,
+            },
+        }
+    }
+}
+
+impl KInduction<'_> {
+    /// Proves a batch of properties with chained assume-guarantee: the
+    /// properties are attempted in order and every *proven* property is
+    /// assumed (as an additional lemma) for the later ones — the way
+    /// commercial property databases exploit already-closed assertions.
+    ///
+    /// Returns one [`ProveResult`] per property, index-aligned. Sound:
+    /// only proven properties join the assumption set.
+    pub fn prove_all(&self, properties: &[Property], lemmas: &[ExprRef]) -> Vec<ProveResult> {
+        let mut results = Vec::with_capacity(properties.len());
+        let mut assumed: Vec<ExprRef> = lemmas.to_vec();
+        for prop in properties {
+            let res = self.prove(prop, &assumed);
+            if res.is_proven() {
+                assumed.push(prop.ok);
+            }
+            results.push(res);
+        }
+        results
+    }
+}

@@ -1,0 +1,220 @@
+//! Counterexample traces.
+//!
+//! A [`Trace`] is a finite sequence of cycles with a value for every named
+//! design signal. Traces come in two flavours, mirroring the two ways a
+//! proof attempt can fail (paper Section II-A): a real counterexample
+//! starting from the reset state, or an *induction-step* counterexample
+//! starting from an arbitrary (possibly unreachable) state — the artefact
+//! the paper feeds to the LLM in Fig. 2.
+
+use genfv_ir::{evaluate, BitVecValue, Context, Env, TransitionSystem};
+use std::collections::BTreeMap;
+
+/// What kind of failure the trace witnesses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// A concrete safety violation reachable from reset (BMC / base case).
+    CounterexampleFromReset,
+    /// An inductive-step failure: the first state is arbitrary, every
+    /// transition is legal, earlier cycles satisfy the property, and the
+    /// final cycle violates it.
+    InductionStep,
+}
+
+/// One cycle of a trace: values for all published signals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Signal name → value, ordered by name for stable rendering.
+    pub values: BTreeMap<String, BitVecValue>,
+}
+
+impl TraceStep {
+    /// Looks up a signal value by name.
+    pub fn get(&self, name: &str) -> Option<&BitVecValue> {
+        self.values.get(name)
+    }
+}
+
+/// A finite counterexample trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The violated property's name.
+    pub property: String,
+    /// Flavour of failure.
+    pub kind: TraceKind,
+    /// Cycles, oldest first; the violation completes in the last cycle.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Builds a trace by evaluating every published signal of `ts` in each
+    /// cycle of `symbol_values` (symbol → value maps, one per cycle).
+    pub fn from_symbol_cycles(
+        ctx: &Context,
+        ts: &TransitionSystem,
+        property: impl Into<String>,
+        kind: TraceKind,
+        symbol_values: &[Env],
+    ) -> Self {
+        let mut steps = Vec::with_capacity(symbol_values.len());
+        for env in symbol_values {
+            let mut step = TraceStep::default();
+            for (name, expr) in ts.signals() {
+                // Skip internal monitor registers in user-facing traces.
+                if name.starts_with("__sva_") {
+                    continue;
+                }
+                step.values.insert(name.clone(), evaluate(ctx, env, *expr));
+            }
+            steps.push(step);
+        }
+        Trace { property: property.into(), kind, steps }
+    }
+
+    /// Number of cycles.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace has no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The final (violating) cycle.
+    pub fn last_step(&self) -> Option<&TraceStep> {
+        self.steps.last()
+    }
+
+    /// Names of all signals appearing in the trace.
+    pub fn signal_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .steps
+            .iter()
+            .flat_map(|s| s.values.keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Replays the trace on the design simulator and checks that every
+    /// transition is consistent with the RTL (guards against extraction
+    /// bugs). Returns the first inconsistent cycle, if any.
+    pub fn validate_transitions(
+        &self,
+        ctx: &Context,
+        ts: &TransitionSystem,
+        symbol_cycles: &[Env],
+    ) -> Option<usize> {
+        for i in 0..symbol_cycles.len().saturating_sub(1) {
+            for st in ts.states() {
+                let expected = evaluate(ctx, &symbol_cycles[i], st.next);
+                let actual = symbol_cycles[i + 1].get(&st.symbol);
+                if actual != Some(&expected) {
+                    return Some(i + 1);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Extracts the symbol environment of each frame from a solved bit-blaster.
+///
+/// Symbols that were never bit-blasted (irrelevant to the query) default to
+/// zero, which is always a legal completion for free inputs.
+pub fn read_symbol_cycles(
+    ctx: &Context,
+    ts: &TransitionSystem,
+    bb: &genfv_ir::BitBlaster,
+    frames: &[genfv_ir::LitEnv],
+) -> Vec<Env> {
+    let mut out = Vec::with_capacity(frames.len());
+    for env in frames {
+        let mut cycle = Env::new();
+        for sym in ts.all_symbols() {
+            let w = ctx.width_of(sym);
+            let v = match env.lookup(sym) {
+                Some(lits) => bb.read_model_value(lits),
+                None => BitVecValue::zero(w),
+            };
+            cycle.insert(sym, v);
+        }
+        // Monitor (SVA) registers are states too and already included via
+        // all_symbols when registered in ts.states().
+        out.push(cycle);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genfv_ir::ExprRef;
+
+    fn tiny_design() -> (Context, TransitionSystem, ExprRef) {
+        let mut ctx = Context::new();
+        let c = ctx.symbol("count", 4);
+        let one = ctx.constant(1, 4);
+        let zero = ctx.constant(0, 4);
+        let next = ctx.add(c, one);
+        let mut ts = TransitionSystem::new("counter");
+        ts.add_state(c, Some(zero), next);
+        ts.add_signal("count", c);
+        let msb = ctx.bit(c, 3);
+        ts.add_signal("msb", msb);
+        (ctx, ts, c)
+    }
+
+    #[test]
+    fn trace_from_cycles_evaluates_signals() {
+        let (ctx, ts, c) = tiny_design();
+        let cycles: Vec<Env> = (0..3u64)
+            .map(|i| Env::from([(c, BitVecValue::from_u64(i + 7, 4))]))
+            .collect();
+        let t = Trace::from_symbol_cycles(&ctx, &ts, "p", TraceKind::InductionStep, &cycles);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.steps[0].get("count").unwrap().to_u64(), Some(7));
+        assert_eq!(t.steps[1].get("msb").unwrap().to_u64(), Some(1));
+        assert_eq!(t.signal_names(), vec!["count".to_string(), "msb".to_string()]);
+    }
+
+    #[test]
+    fn validate_transitions_accepts_legal() {
+        let (ctx, ts, c) = tiny_design();
+        let cycles: Vec<Env> = (5..8u64)
+            .map(|i| Env::from([(c, BitVecValue::from_u64(i, 4))]))
+            .collect();
+        let t = Trace::from_symbol_cycles(&ctx, &ts, "p", TraceKind::InductionStep, &cycles);
+        assert_eq!(t.validate_transitions(&ctx, &ts, &cycles), None);
+    }
+
+    #[test]
+    fn validate_transitions_rejects_illegal() {
+        let (ctx, ts, c) = tiny_design();
+        let cycles: Vec<Env> = [3u64, 9]
+            .iter()
+            .map(|&i| Env::from([(c, BitVecValue::from_u64(i, 4))]))
+            .collect();
+        let t = Trace::from_symbol_cycles(&ctx, &ts, "p", TraceKind::InductionStep, &cycles);
+        assert_eq!(t.validate_transitions(&ctx, &ts, &cycles), Some(1));
+    }
+
+    #[test]
+    fn monitor_registers_hidden() {
+        let mut ctx = Context::new();
+        let c = ctx.symbol("c", 1);
+        let aux = ctx.symbol("__sva_p1", 1);
+        let mut ts = TransitionSystem::new("t");
+        ts.add_state(c, None, c);
+        ts.add_state(aux, None, c);
+        ts.add_signal("c", c);
+        ts.add_signal("__sva_p1", aux);
+        let cycles =
+            vec![Env::from([(c, BitVecValue::from_bool(true)), (aux, BitVecValue::from_bool(false))])];
+        let t = Trace::from_symbol_cycles(&ctx, &ts, "p", TraceKind::InductionStep, &cycles);
+        assert!(t.steps[0].get("__sva_p1").is_none());
+        assert!(t.steps[0].get("c").is_some());
+    }
+}

@@ -1,0 +1,238 @@
+//! Time-frame expansion of a transition system over one incremental SAT
+//! solver.
+//!
+//! Frame *i* has its own [`LitEnv`]; state symbols of frame *i+1* are bound
+//! to the bit-blasted next-state functions evaluated in frame *i*.
+//! Environment constraints are asserted in every frame. With
+//! `use_init = true`, frame 0 additionally pins initialised states to their
+//! reset values (BMC/base case); with `false`, frame 0 is an arbitrary
+//! state (induction step).
+
+use genfv_ir::{BitBlaster, Context, ExprRef, LitEnv, TransitionSystem};
+use genfv_sat::Lit;
+
+/// Incremental unroller.
+#[derive(Debug)]
+pub struct Unroller<'c> {
+    ctx: &'c Context,
+    ts: &'c TransitionSystem,
+    bb: BitBlaster,
+    frames: Vec<LitEnv>,
+    use_init: bool,
+}
+
+impl<'c> Unroller<'c> {
+    /// Creates an unroller with zero frames.
+    pub fn new(ctx: &'c Context, ts: &'c TransitionSystem, use_init: bool) -> Self {
+        Unroller { ctx, ts, bb: BitBlaster::new(), frames: Vec::new(), use_init }
+    }
+
+    /// Number of frames created so far.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no frame exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Ensures frames `0..=n` exist.
+    pub fn ensure_frame(&mut self, n: usize) {
+        while self.frames.len() <= n {
+            self.push_frame();
+        }
+    }
+
+    fn push_frame(&mut self) {
+        let mut env = LitEnv::new();
+        if self.frames.is_empty() {
+            if self.use_init {
+                for st in self.ts.states() {
+                    if let Some(init) = st.init {
+                        let lits = self.bb.blast(self.ctx, &mut env, init);
+                        env.bind(st.symbol, lits);
+                    }
+                }
+            }
+        } else {
+            let prev_idx = self.frames.len() - 1;
+            // Blast every next-state function in the previous frame, then
+            // bind the state symbols in the new frame.
+            let mut bound = Vec::with_capacity(self.ts.states().len());
+            for st in self.ts.states() {
+                let prev_env = &mut self.frames[prev_idx];
+                let lits = self.bb.blast(self.ctx, prev_env, st.next);
+                bound.push((st.symbol, lits));
+            }
+            for (sym, lits) in bound {
+                env.bind(sym, lits);
+            }
+        }
+        self.frames.push(env);
+        let idx = self.frames.len() - 1;
+        // Environment constraints hold in every frame.
+        let constraints: Vec<ExprRef> = self.ts.constraints().to_vec();
+        for c in constraints {
+            let l = self.lit_at(idx, c);
+            self.bb.assert_lit(l);
+        }
+    }
+
+    /// The 1-bit literal of `expr` evaluated in frame `frame`.
+    ///
+    /// # Panics
+    /// Panics if the frame does not exist or `expr` is not 1 bit wide.
+    pub fn lit_at(&mut self, frame: usize, expr: ExprRef) -> Lit {
+        assert_eq!(self.ctx.width_of(expr), 1, "lit_at needs a 1-bit expression");
+        let env = &mut self.frames[frame];
+        self.bb.blast(self.ctx, env, expr)[0]
+    }
+
+    /// Blasts an arbitrary-width expression in a frame.
+    pub fn lits_at(&mut self, frame: usize, expr: ExprRef) -> Vec<Lit> {
+        let env = &mut self.frames[frame];
+        self.bb.blast(self.ctx, env, expr)
+    }
+
+    /// Adds a pairwise-distinct-states ("simple path") constraint between
+    /// every pair of frames up to `max_frame` — required for k-induction
+    /// completeness, optional for soundness.
+    pub fn assert_simple_path(&mut self, max_frame: usize) {
+        for i in 0..max_frame {
+            for j in (i + 1)..=max_frame {
+                let mut diff: Vec<Lit> = Vec::new();
+                for st in self.ts.states() {
+                    let a = self.lits_at(i, st.symbol);
+                    let b = self.lits_at(j, st.symbol);
+                    for (x, y) in a.iter().zip(&b) {
+                        // (x ⊕ y) as a fresh literal would need gates; reuse
+                        // the blaster's builder through a scratch expression
+                        // instead: assert at least one bit differs.
+                        let solver = self.bb.solver_mut();
+                        let d = genfv_sat::Lit::pos(solver.new_var());
+                        // d → (x ⊕ y): clauses (¬d ∨ x ∨ y) ∧ (¬d ∨ ¬x ∨ ¬y)
+                        solver.add_clause([!d, *x, *y]);
+                        solver.add_clause([!d, !*x, !*y]);
+                        diff.push(d);
+                    }
+                }
+                self.bb.solver_mut().add_clause(diff);
+            }
+        }
+    }
+
+    /// Access to the underlying bit-blaster (for solving and models).
+    pub fn blaster_mut(&mut self) -> &mut BitBlaster {
+        &mut self.bb
+    }
+
+    /// Shared access to the blaster.
+    pub fn blaster(&self) -> &BitBlaster {
+        &self.bb
+    }
+
+    /// The per-frame environments (for trace extraction).
+    pub fn frames(&self) -> &[LitEnv] {
+        &self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genfv_ir::Context;
+
+    fn counter(ctx: &mut Context) -> TransitionSystem {
+        let c = ctx.symbol("count", 4);
+        let one = ctx.constant(1, 4);
+        let zero = ctx.constant(0, 4);
+        let next = ctx.add(c, one);
+        let mut ts = TransitionSystem::new("counter");
+        ts.add_state(c, Some(zero), next);
+        ts.add_signal("count", c);
+        ts
+    }
+
+    #[test]
+    fn init_frame_is_pinned() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let mut u = Unroller::new(&ctx, &ts, true);
+        u.ensure_frame(3);
+        // count@0 == 0, count@3 == 3: query equality with constants.
+        let three = ctx.constant(3, 4);
+        // (count == 3) at frame 3 must be forced true.
+        let mut ctx2 = ctx.clone();
+        let eq3 = ctx2.eq(c, three);
+        let mut u2 = Unroller::new(&ctx2, &ts, true);
+        u2.ensure_frame(3);
+        let l = u2.lit_at(3, eq3);
+        assert!(u2.blaster_mut().solve_with_assumptions(&[!l]).is_unsat());
+    }
+
+    #[test]
+    fn no_init_frame_is_free() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let nine = ctx.constant(9, 4);
+        let eq9 = ctx.eq(c, nine);
+        let mut u = Unroller::new(&ctx, &ts, false);
+        u.ensure_frame(0);
+        let l = u.lit_at(0, eq9);
+        assert!(
+            u.blaster_mut().solve_with_assumptions(&[l]).is_sat(),
+            "arbitrary start state can be 9"
+        );
+    }
+
+    #[test]
+    fn transition_relation_enforced() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let five = ctx.constant(5, 4);
+        let six = ctx.constant(6, 4);
+        let eq5 = ctx.eq(c, five);
+        let eq6 = ctx.eq(c, six);
+        let mut u = Unroller::new(&ctx, &ts, false);
+        u.ensure_frame(1);
+        let a = u.lit_at(0, eq5);
+        let b = u.lit_at(1, eq6);
+        assert!(u.blaster_mut().solve_with_assumptions(&[a, b]).is_sat());
+        assert!(u.blaster_mut().solve_with_assumptions(&[a, !b]).is_unsat());
+    }
+
+    #[test]
+    fn constraints_apply_every_frame() {
+        let mut ctx = Context::new();
+        let mut ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let eight = ctx.constant(8, 4);
+        let lt8 = ctx.ult(c, eight);
+        ts.add_constraint(lt8);
+        let seven = ctx.constant(7, 4);
+        let eq7 = ctx.eq(c, seven);
+        let mut u = Unroller::new(&ctx, &ts, false);
+        u.ensure_frame(1);
+        // count@0 == 7 forces count@1 == 8, violating the constraint.
+        let l = u.lit_at(0, eq7);
+        assert!(u.blaster_mut().solve_with_assumptions(&[l]).is_unsat());
+    }
+
+    #[test]
+    fn simple_path_excludes_revisits() {
+        let mut ctx = Context::new();
+        // A 1-bit toggler: state space {0,1}; any 3 frames must revisit.
+        let b = ctx.symbol("b", 1);
+        let nb = ctx.not(b);
+        let mut ts = TransitionSystem::new("toggle");
+        ts.add_state(b, None, nb);
+        let mut u = Unroller::new(&ctx, &ts, false);
+        u.ensure_frame(2);
+        u.assert_simple_path(2);
+        assert!(u.blaster_mut().solver_mut().solve().is_unsat(), "3 distinct states impossible");
+    }
+}

@@ -1,0 +1,204 @@
+//! Waveform rendering for counterexample traces.
+//!
+//! Two outputs are provided: an ASCII rendering in the spirit of the
+//! paper's Fig. 3 (1-bit signals as pulse trains, vectors as hex values),
+//! and an industry-standard VCD dump for external viewers.
+
+use crate::trace::Trace;
+use genfv_ir::BitVecValue;
+use std::fmt::Write as _;
+
+/// Renders a trace as an ASCII waveform.
+///
+/// 1-bit signals are drawn as pulse trains (`▁` low, `▔` high); wider
+/// signals display one hex value per cycle. The final cycle — where the
+/// violation completes — is marked with `!`.
+///
+/// ```
+/// # use genfv_mc::{Trace, TraceKind, TraceStep};
+/// # use genfv_ir::BitVecValue;
+/// # use std::collections::BTreeMap;
+/// let steps = (0u64..3).map(|i| TraceStep {
+///     values: BTreeMap::from([("count".to_string(), BitVecValue::from_u64(i, 8))]),
+/// }).collect();
+/// let t = Trace { property: "p".into(), kind: TraceKind::InductionStep, steps };
+/// let art = genfv_mc::render_waveform(&t);
+/// assert!(art.contains("count"));
+/// ```
+pub fn render_waveform(trace: &Trace) -> String {
+    let names = trace.signal_names();
+    let n = trace.len();
+    let mut out = String::new();
+    let kind = match trace.kind {
+        crate::trace::TraceKind::CounterexampleFromReset => "counterexample from reset",
+        crate::trace::TraceKind::InductionStep => "induction step failure (arbitrary start state)",
+    };
+    let _ = writeln!(out, "── {} — property `{}` ──", kind, trace.property);
+
+    let name_w = names.iter().map(|s| s.len()).max().unwrap_or(4).max(5);
+    // Determine the cell width per signal from the widest rendered value.
+    let mut rendered: Vec<(String, Vec<String>, bool)> = Vec::new();
+    for name in &names {
+        let mut cells = Vec::with_capacity(n);
+        let mut is_bit = true;
+        for step in &trace.steps {
+            match step.get(name) {
+                Some(v) => {
+                    if v.width() > 1 {
+                        is_bit = false;
+                    }
+                    cells.push(v.to_hex_string());
+                }
+                None => cells.push("-".to_string()),
+            }
+        }
+        rendered.push((name.clone(), cells, is_bit));
+    }
+    let cell_w = rendered
+        .iter()
+        .flat_map(|(_, cells, _)| cells.iter().map(|c| c.len()))
+        .max()
+        .unwrap_or(1)
+        .max(2);
+
+    // Header: cycle numbers; the last cycle gets a violation marker.
+    let mut header = format!("{:name_w$}   ", "cycle");
+    for i in 0..n {
+        let marker = if i + 1 == n { "!" } else { " " };
+        let _ = write!(header, "{:>cell_w$}{} ", i, marker);
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "─".repeat(header.chars().count().max(16)));
+
+    for (name, cells, is_bit) in &rendered {
+        let mut line = format!("{name:name_w$} │ ");
+        for cell in cells {
+            if *is_bit {
+                let sym = match cell.as_str() {
+                    "1" => "▔".repeat(cell_w),
+                    "0" => "▁".repeat(cell_w),
+                    _ => "-".repeat(cell_w),
+                };
+                let _ = write!(line, "{sym}  ");
+            } else {
+                let _ = write!(line, "{cell:>cell_w$}  ");
+            }
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Renders a compact per-bit view of one vector signal in the final cycle —
+/// the presentation style of the paper's Fig. 3, which highlights that bit
+/// 31 of `count2` is low while `count1` is all ones.
+pub fn render_final_bits(trace: &Trace, signal: &str) -> Option<String> {
+    let v = trace.last_step()?.get(signal)?;
+    let mut out = format!("{signal} (final cycle) = {}'b", v.width());
+    out.push_str(&v.to_binary_string());
+    let low_bits: Vec<u32> = (0..v.width()).filter(|&i| !v.bit(i)).collect();
+    if !low_bits.is_empty() && low_bits.len() <= 4 {
+        let _ = write!(out, "   // bit(s) {low_bits:?} are 0");
+    }
+    Some(out)
+}
+
+/// Writes the trace as a Value Change Dump (VCD) document.
+pub fn to_vcd(trace: &Trace) -> String {
+    let names = trace.signal_names();
+    let mut out = String::new();
+    out.push_str("$date genfv $end\n$version genfv-mc $end\n$timescale 1ns $end\n");
+    out.push_str("$scope module trace $end\n");
+    // VCD id codes: printable ASCII starting at '!'.
+    let ids: Vec<String> = (0..names.len())
+        .map(|i| {
+            let mut s = String::new();
+            let mut x = i;
+            loop {
+                s.push((33 + (x % 94)) as u8 as char);
+                x /= 94;
+                if x == 0 {
+                    break;
+                }
+            }
+            s
+        })
+        .collect();
+    let width_of = |name: &str| -> u32 {
+        trace
+            .steps
+            .iter()
+            .find_map(|s| s.get(name))
+            .map(BitVecValue::width)
+            .unwrap_or(1)
+    };
+    for (name, id) in names.iter().zip(&ids) {
+        let w = width_of(name);
+        let _ = writeln!(out, "$var wire {w} {id} {name} $end");
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    for (t, step) in trace.steps.iter().enumerate() {
+        let _ = writeln!(out, "#{t}");
+        for (name, id) in names.iter().zip(&ids) {
+            if let Some(v) = step.get(name) {
+                if v.width() == 1 {
+                    let _ = writeln!(out, "{}{id}", if v.to_bool() { 1 } else { 0 });
+                } else {
+                    let _ = writeln!(out, "b{} {id}", v.to_binary_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceKind, TraceStep};
+    use std::collections::BTreeMap;
+
+    fn sample_trace() -> Trace {
+        let mut steps = Vec::new();
+        for i in 0..3u64 {
+            let mut values = BTreeMap::new();
+            values.insert("count1".to_string(), BitVecValue::from_u64(0xFF - i, 8));
+            values.insert("count2".to_string(), BitVecValue::from_u64(0x7F - i, 8));
+            values.insert("rst".to_string(), BitVecValue::from_bool(i == 0));
+            steps.push(TraceStep { values });
+        }
+        Trace { property: "equal_count".into(), kind: TraceKind::InductionStep, steps }
+    }
+
+    #[test]
+    fn waveform_contains_signals_and_marker() {
+        let art = render_waveform(&sample_trace());
+        assert!(art.contains("count1"));
+        assert!(art.contains("count2"));
+        assert!(art.contains("equal_count"));
+        assert!(art.contains("!"), "violation marker");
+        assert!(art.contains("induction step failure"));
+        // 1-bit rst rendered as pulse, not hex.
+        assert!(art.contains('▔') || art.contains('▁'));
+    }
+
+    #[test]
+    fn final_bits_highlights_zero_bit() {
+        let t = sample_trace();
+        // count2 final = 0x7D: bit 7 is 0 (like the paper's bit-31 callout).
+        let s = render_final_bits(&t, "count2").unwrap();
+        assert!(s.contains("8'b0"), "{s}");
+        assert!(render_final_bits(&t, "nope").is_none());
+    }
+
+    #[test]
+    fn vcd_well_formed() {
+        let vcd = to_vcd(&sample_trace());
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("$var wire 8"));
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#2"));
+        assert!(vcd.lines().any(|l| l.starts_with('b')));
+    }
+}

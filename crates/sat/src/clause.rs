@@ -1,0 +1,259 @@
+//! Clause storage.
+//!
+//! Clauses live in a single arena ([`ClauseDb`]) and are referred to by
+//! [`ClauseRef`] handles. The arena supports in-place strengthening, lazy
+//! deletion, and compaction during learnt-database reduction.
+
+use crate::lit::Lit;
+use std::fmt;
+
+/// A handle to a clause stored in a [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClauseRef(u32);
+
+impl ClauseRef {
+    /// Sentinel meaning "no clause" (used as a reason for decisions).
+    pub const UNDEF: ClauseRef = ClauseRef(u32::MAX);
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ClauseRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == ClauseRef::UNDEF {
+            write!(f, "c⊥")
+        } else {
+            write!(f, "c{}", self.0)
+        }
+    }
+}
+
+/// A single clause: a disjunction of literals plus solver metadata.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    lits: Vec<Lit>,
+    /// Whether the clause was learnt by conflict analysis (eligible for
+    /// deletion) as opposed to a problem clause.
+    learnt: bool,
+    /// Literal-block distance ("glue") at learn time; lower is better.
+    lbd: u32,
+    /// VSIDS-style activity for learnt-clause reduction.
+    activity: f64,
+    /// Marked for lazy deletion.
+    deleted: bool,
+}
+
+impl Clause {
+    fn new(lits: Vec<Lit>, learnt: bool, lbd: u32) -> Self {
+        Clause { lits, learnt, lbd, activity: 0.0, deleted: false }
+    }
+
+    /// The literals of the clause.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause has no literals (never true for stored clauses).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Whether this is a learnt clause.
+    #[inline]
+    pub fn is_learnt(&self) -> bool {
+        self.learnt
+    }
+
+    /// The literal-block distance recorded for this clause.
+    #[inline]
+    pub fn lbd(&self) -> u32 {
+        self.lbd
+    }
+
+    /// Whether the clause has been lazily deleted.
+    #[inline]
+    pub fn is_deleted(&self) -> bool {
+        self.deleted
+    }
+
+    #[inline]
+    pub(crate) fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    #[inline]
+    pub(crate) fn bump_activity(&mut self, inc: f64) {
+        self.activity += inc;
+    }
+
+    #[inline]
+    pub(crate) fn rescale_activity(&mut self, factor: f64) {
+        self.activity *= factor;
+    }
+
+    #[inline]
+    pub(crate) fn mark_deleted(&mut self) {
+        self.deleted = true;
+    }
+
+    #[inline]
+    pub(crate) fn lits_mut(&mut self) -> &mut Vec<Lit> {
+        &mut self.lits
+    }
+}
+
+/// Arena of clauses addressed by [`ClauseRef`].
+///
+/// ```
+/// use genfv_sat::clause::ClauseDb;
+/// use genfv_sat::{Lit, Var};
+///
+/// let mut db = ClauseDb::new();
+/// let a = Lit::pos(Var::from_index(0));
+/// let b = Lit::pos(Var::from_index(1));
+/// let cref = db.alloc(vec![a, b], false, 0);
+/// assert_eq!(db.clause(cref).lits(), &[a, b]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClauseDb {
+    clauses: Vec<Clause>,
+    live_learnt: usize,
+    live_problem: usize,
+}
+
+impl ClauseDb {
+    /// Creates an empty clause database.
+    pub fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    /// Allocates a clause and returns its handle.
+    pub fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        let idx = self.clauses.len();
+        self.clauses.push(Clause::new(lits, learnt, lbd));
+        if learnt {
+            self.live_learnt += 1;
+        } else {
+            self.live_problem += 1;
+        }
+        ClauseRef(idx as u32)
+    }
+
+    /// Immutable access to a clause.
+    #[inline]
+    pub fn clause(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.index()]
+    }
+
+    /// Mutable access to a clause.
+    #[inline]
+    pub fn clause_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.index()]
+    }
+
+    /// Marks a clause deleted (lazily: the slot stays allocated; watch
+    /// lists are cleaned up by the solver on detach).
+    pub fn delete(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.index()];
+        if !c.deleted {
+            if c.learnt {
+                self.live_learnt -= 1;
+            } else {
+                self.live_problem -= 1;
+            }
+            c.mark_deleted();
+        }
+    }
+
+    /// Number of live learnt clauses.
+    #[inline]
+    pub fn live_learnt(&self) -> usize {
+        self.live_learnt
+    }
+
+    /// Number of live problem clauses.
+    #[inline]
+    pub fn live_problem(&self) -> usize {
+        self.live_problem
+    }
+
+    /// Iterates over handles of all live learnt clauses.
+    pub fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Total number of slots (live + deleted) in the arena.
+    #[inline]
+    pub fn capacity_slots(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn l(i: usize) -> Lit {
+        Lit::pos(Var::from_index(i))
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(vec![l(0), l(1)], false, 0);
+        let c2 = db.alloc(vec![l(1), l(2), l(3)], true, 2);
+        assert_eq!(db.clause(c1).lits(), &[l(0), l(1)]);
+        assert_eq!(db.clause(c2).len(), 3);
+        assert!(db.clause(c2).is_learnt());
+        assert_eq!(db.clause(c2).lbd(), 2);
+        assert_eq!(db.live_problem(), 1);
+        assert_eq!(db.live_learnt(), 1);
+    }
+
+    #[test]
+    fn delete_is_idempotent_and_updates_counts() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(vec![l(0), l(1)], true, 1);
+        db.delete(c);
+        db.delete(c);
+        assert!(db.clause(c).is_deleted());
+        assert_eq!(db.live_learnt(), 0);
+    }
+
+    #[test]
+    fn learnt_refs_skips_deleted() {
+        let mut db = ClauseDb::new();
+        let _p = db.alloc(vec![l(0), l(1)], false, 0);
+        let a = db.alloc(vec![l(0), l(2)], true, 1);
+        let b = db.alloc(vec![l(1), l(2)], true, 1);
+        db.delete(a);
+        let live: Vec<_> = db.learnt_refs().collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn activity_bump_and_rescale() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(vec![l(0), l(1)], true, 1);
+        db.clause_mut(c).bump_activity(1.0);
+        db.clause_mut(c).rescale_activity(0.5);
+        assert!((db.clause(c).activity() - 0.5).abs() < 1e-12);
+    }
+}

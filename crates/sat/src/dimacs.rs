@@ -1,0 +1,192 @@
+//! DIMACS CNF parsing, used by tests and tooling.
+//!
+//! Only the classic `p cnf <vars> <clauses>` format is supported; `c` comment
+//! lines are skipped and clauses are zero-terminated integer lists.
+
+use crate::lit::{Lit, Var};
+use std::error::Error;
+use std::fmt;
+
+/// A parsed CNF formula.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Declared number of variables.
+    pub num_vars: usize,
+    /// The clauses, as literal vectors.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh [`crate::Solver`], creating
+    /// `num_vars` variables in order.
+    pub fn load_into(&self, solver: &mut crate::Solver) {
+        while solver.num_vars() < self.num_vars {
+            solver.new_var();
+        }
+        for c in &self.clauses {
+            solver.add_clause(c.iter().copied());
+        }
+    }
+}
+
+/// Error produced when DIMACS parsing fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl ParseDimacsError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseDimacsError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses a DIMACS CNF document.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on a malformed header, a literal out of the
+/// declared range, or a clause missing its `0` terminator.
+///
+/// ```
+/// let cnf = genfv_sat::dimacs::parse("p cnf 2 2\n1 2 0\n-1 2 0\n")?;
+/// assert_eq!(cnf.num_vars, 2);
+/// assert_eq!(cnf.clauses.len(), 2);
+/// # Ok::<(), genfv_sat::dimacs::ParseDimacsError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let n = lineno + 1;
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError::new(n, "expected `p cnf <vars> <clauses>`"));
+            }
+            let vars: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::new(n, "bad variable count"))?;
+            let _nclauses: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::new(n, "bad clause count"))?;
+            num_vars = Some(vars);
+            continue;
+        }
+        let nv =
+            num_vars.ok_or_else(|| ParseDimacsError::new(n, "clause before `p cnf` header"))?;
+        for tok in line.split_whitespace() {
+            let val: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::new(n, format!("bad literal `{tok}`")))?;
+            if val == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let idx = val.unsigned_abs() as usize - 1;
+                if idx >= nv {
+                    return Err(ParseDimacsError::new(
+                        n,
+                        format!("literal {val} out of declared range 1..={nv}"),
+                    ));
+                }
+                current.push(Lit::new(Var::from_index(idx), val < 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::new(
+            input.lines().count(),
+            "last clause is missing its `0` terminator",
+        ));
+    }
+    Ok(Cnf { num_vars: num_vars.unwrap_or(0), clauses })
+}
+
+/// Serialises a formula back to DIMACS text (inverse of [`parse`]).
+pub fn render(cnf: &Cnf) -> String {
+    let mut out = format!("p cnf {} {}\n", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for &l in c {
+            let v = l.var().index() as i64 + 1;
+            let signed = if l.is_neg() { -v } else { v };
+            out.push_str(&signed.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Solver;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].len(), 2);
+        assert!(cnf.clauses[0][1].is_neg());
+    }
+
+    #[test]
+    fn parse_multiline_clause() {
+        let cnf = parse("p cnf 2 1\n1\n2 0\n").unwrap();
+        assert_eq!(cnf.clauses, vec![vec![
+            Lit::pos(Var::from_index(0)),
+            Lit::pos(Var::from_index(1))
+        ]]);
+    }
+
+    #[test]
+    fn error_on_missing_header() {
+        assert!(parse("1 2 0\n").is_err());
+    }
+
+    #[test]
+    fn error_on_out_of_range() {
+        assert!(parse("p cnf 1 1\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_clause() {
+        assert!(parse("p cnf 2 1\n1 2\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_render() {
+        let text = "p cnf 3 2\n1 -2 0\n-3 2 0\n";
+        let cnf = parse(text).unwrap();
+        let again = parse(&render(&cnf)).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn load_into_solver_and_solve() {
+        let cnf = parse("p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n").unwrap();
+        let mut s = Solver::new();
+        cnf.load_into(&mut s);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(Lit::pos(Var::from_index(0))), Some(true));
+        assert_eq!(s.value(Lit::pos(Var::from_index(1))), Some(true));
+    }
+}

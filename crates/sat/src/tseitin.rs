@@ -1,0 +1,303 @@
+//! Gate-level CNF construction helpers (Tseitin encoding).
+//!
+//! [`CnfBuilder`] wraps a [`Solver`] and offers structural-hashing-free gate
+//! constructors (`and`, `or`, `xor`, `ite`, …) returning literals. The
+//! bit-blaster in `genfv-ir` performs its own structural hashing at the AIG
+//! level, so this layer stays deliberately simple; it also provides the
+//! constant-true literal convention used across the stack.
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// Incremental CNF builder over a [`Solver`].
+///
+/// The builder owns the solver; retrieve it with
+/// [`CnfBuilder::into_solver`] or operate through [`CnfBuilder::solver_mut`].
+///
+/// ```
+/// use genfv_sat::CnfBuilder;
+///
+/// let mut b = CnfBuilder::new();
+/// let x = b.fresh();
+/// let y = b.fresh();
+/// let g = b.and(x, y);
+/// b.assert_lit(g);
+/// let mut s = b.into_solver();
+/// assert!(s.solve().is_sat());
+/// assert_eq!(s.value(x), Some(true));
+/// assert_eq!(s.value(y), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct CnfBuilder {
+    solver: Solver,
+    true_lit: Lit,
+}
+
+impl Default for CnfBuilder {
+    fn default() -> Self {
+        CnfBuilder::new()
+    }
+}
+
+impl CnfBuilder {
+    /// Creates a builder with a fresh solver, allocating the constant-true
+    /// literal.
+    pub fn new() -> Self {
+        let mut solver = Solver::new();
+        let t = Lit::pos(solver.new_var());
+        solver.add_clause([t]);
+        CnfBuilder { solver, true_lit: t }
+    }
+
+    /// The literal fixed to true (its negation is the constant false).
+    #[inline]
+    pub fn true_lit(&self) -> Lit {
+        self.true_lit
+    }
+
+    /// The literal fixed to false.
+    #[inline]
+    pub fn false_lit(&self) -> Lit {
+        !self.true_lit
+    }
+
+    /// Converts a boolean constant to its literal.
+    #[inline]
+    pub fn constant(&self, value: bool) -> Lit {
+        if value {
+            self.true_lit
+        } else {
+            !self.true_lit
+        }
+    }
+
+    /// Allocates a fresh unconstrained literal.
+    pub fn fresh(&mut self) -> Lit {
+        Lit::pos(self.solver.new_var())
+    }
+
+    /// Asserts `l` at the top level.
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.solver.add_clause([l]);
+    }
+
+    /// Adds an arbitrary clause.
+    pub fn clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.solver.add_clause(lits);
+    }
+
+    /// Returns a literal equivalent to `a ∧ b`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.false_lit() || b == self.false_lit() || a == !b {
+            return self.false_lit();
+        }
+        if a == self.true_lit {
+            return b;
+        }
+        if b == self.true_lit || a == b {
+            return a;
+        }
+        let g = self.fresh();
+        self.solver.add_clause([!g, a]);
+        self.solver.add_clause([!g, b]);
+        self.solver.add_clause([g, !a, !b]);
+        g
+    }
+
+    /// Returns a literal equivalent to `a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Returns a literal equivalent to `a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.false_lit() {
+            return b;
+        }
+        if b == self.false_lit() {
+            return a;
+        }
+        if a == self.true_lit {
+            return !b;
+        }
+        if b == self.true_lit {
+            return !a;
+        }
+        if a == b {
+            return self.false_lit();
+        }
+        if a == !b {
+            return self.true_lit;
+        }
+        let g = self.fresh();
+        self.solver.add_clause([!g, a, b]);
+        self.solver.add_clause([!g, !a, !b]);
+        self.solver.add_clause([g, !a, b]);
+        self.solver.add_clause([g, a, !b]);
+        g
+    }
+
+    /// Returns a literal equivalent to `if c then t else e`.
+    pub fn ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        if c == self.true_lit {
+            return t;
+        }
+        if c == self.false_lit() {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        let g = self.fresh();
+        self.solver.add_clause([!g, !c, t]);
+        self.solver.add_clause([!g, c, e]);
+        self.solver.add_clause([g, !c, !t]);
+        self.solver.add_clause([g, c, !e]);
+        // Redundant but propagation-strengthening clauses:
+        self.solver.add_clause([g, !t, !e]);
+        self.solver.add_clause([!g, t, e]);
+        g
+    }
+
+    /// N-ary conjunction.
+    pub fn and_many<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        let mut acc = self.true_lit;
+        for l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    /// N-ary disjunction.
+    pub fn or_many<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        let mut acc = self.false_lit();
+        for l in lits {
+            acc = self.or(acc, l);
+        }
+        acc
+    }
+
+    /// Returns a literal equivalent to `a == b` (XNOR).
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Mutable access to the underlying solver.
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Shared access to the underlying solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Consumes the builder, returning the solver.
+    pub fn into_solver(self) -> Solver {
+        self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks a 2-input gate constructor against a reference
+    /// boolean function by solving with assumptions.
+    fn check_gate(
+        build: impl Fn(&mut CnfBuilder, Lit, Lit) -> Lit,
+        reference: impl Fn(bool, bool) -> bool,
+    ) {
+        for a_val in [false, true] {
+            for b_val in [false, true] {
+                let mut b = CnfBuilder::new();
+                let x = b.fresh();
+                let y = b.fresh();
+                let g = build(&mut b, x, y);
+                let mut s = b.into_solver();
+                let ax = if a_val { x } else { !x };
+                let ay = if b_val { y } else { !y };
+                assert!(s.solve_with_assumptions(&[ax, ay]).is_sat());
+                assert_eq!(
+                    s.value(g),
+                    Some(reference(a_val, b_val)),
+                    "inputs ({a_val},{b_val})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_truth_table() {
+        check_gate(|b, x, y| b.and(x, y), |a, c| a && c);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        check_gate(|b, x, y| b.or(x, y), |a, c| a || c);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        check_gate(|b, x, y| b.xor(x, y), |a, c| a != c);
+    }
+
+    #[test]
+    fn iff_truth_table() {
+        check_gate(|b, x, y| b.iff(x, y), |a, c| a == c);
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        for c_val in [false, true] {
+            for t_val in [false, true] {
+                for e_val in [false, true] {
+                    let mut b = CnfBuilder::new();
+                    let c = b.fresh();
+                    let t = b.fresh();
+                    let e = b.fresh();
+                    let g = b.ite(c, t, e);
+                    let mut s = b.into_solver();
+                    let mk = |l: Lit, v: bool| if v { l } else { !l };
+                    assert!(s
+                        .solve_with_assumptions(&[mk(c, c_val), mk(t, t_val), mk(e, e_val)])
+                        .is_sat());
+                    let expect = if c_val { t_val } else { e_val };
+                    assert_eq!(s.value(g), Some(expect));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_simplifications() {
+        let mut b = CnfBuilder::new();
+        let x = b.fresh();
+        let t = b.true_lit();
+        let f = b.false_lit();
+        assert_eq!(b.and(t, x), x);
+        assert_eq!(b.and(f, x), f);
+        assert_eq!(b.or(f, x), x);
+        assert_eq!(b.or(t, x), t);
+        assert_eq!(b.xor(f, x), x);
+        assert_eq!(b.xor(t, x), !x);
+        assert_eq!(b.and(x, !x), f);
+        assert_eq!(b.xor(x, x), f);
+        assert_eq!(b.xor(x, !x), t);
+    }
+
+    #[test]
+    fn nary_gates() {
+        let mut b = CnfBuilder::new();
+        let xs: Vec<Lit> = (0..4).map(|_| b.fresh()).collect();
+        let all = b.and_many(xs.iter().copied());
+        let any = b.or_many(xs.iter().copied());
+        b.assert_lit(all);
+        let mut s = b.into_solver();
+        assert!(s.solve().is_sat());
+        for &x in &xs {
+            assert_eq!(s.value(x), Some(true));
+        }
+        assert_eq!(s.value(any), Some(true));
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based differential testing of the CDCL solver against a
+//! brute-force truth-table reference on random small CNFs, plus structured
+//! incremental-solving scenarios.
+
+use genfv_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// Brute-force satisfiability over `num_vars <= 16` variables.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    assert!(num_vars <= 16);
+    'outer: for assignment in 0u32..(1u32 << num_vars) {
+        for clause in clauses {
+            let mut sat = false;
+            for &l in clause {
+                let bit = (assignment >> l.var().index()) & 1 == 1;
+                if bit != l.is_neg() {
+                    sat = true;
+                    break;
+                }
+            }
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Checks that a model returned by the solver actually satisfies the CNF.
+fn model_satisfies(solver: &Solver, clauses: &[Vec<Lit>]) -> bool {
+    clauses.iter().all(|clause| {
+        clause.iter().any(|&l| solver.value(l) == Some(true) || solver.value(l).is_none() && {
+            // Unassigned variables are unconstrained; any value works, so a
+            // clause containing one is satisfiable by extension. The solver
+            // only leaves a var unassigned if no clause forced it, in which
+            // case some other literal in this clause must already be true —
+            // except for clauses made entirely of don't-cares. Treat
+            // unassigned positively to accept such extensions.
+            true
+        })
+    })
+}
+
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (usize, Vec<Vec<Lit>>)> {
+    (2..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4).prop_map(
+            move |lits| -> Vec<Lit> {
+                lits.into_iter().map(|(v, neg)| Lit::new(Var::from_index(v), neg)).collect()
+            },
+        );
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |cs| (nv, cs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force((num_vars, clauses) in arb_cnf(8, 24)) {
+        let expected = brute_force_sat(num_vars, &clauses);
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        let got = s.solve();
+        prop_assert_eq!(got.is_sat(), expected, "cnf: {:?}", clauses);
+        if got.is_sat() {
+            prop_assert!(model_satisfies(&s, &clauses));
+        }
+    }
+
+    #[test]
+    fn incremental_assumption_solving_is_consistent(
+        (num_vars, clauses) in arb_cnf(8, 16),
+        asm_bits in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        // Solving with assumptions must equal solving the CNF plus the
+        // assumptions as unit clauses.
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        let asm: Vec<Lit> = asm_bits
+            .iter()
+            .enumerate()
+            .take(num_vars)
+            .map(|(i, &neg)| Lit::new(Var::from_index(i), neg))
+            .collect();
+        let with_asm = s.solve_with_assumptions(&asm);
+
+        let mut clauses2 = clauses.clone();
+        for &a in &asm {
+            clauses2.push(vec![a]);
+        }
+        let expected = brute_force_sat(num_vars, &clauses2);
+        prop_assert_eq!(with_asm.is_sat(), expected);
+
+        // The solver must remain usable and consistent afterwards.
+        let plain = s.solve();
+        prop_assert_eq!(plain.is_sat(), brute_force_sat(num_vars, &clauses));
+    }
+
+    #[test]
+    fn unsat_core_is_sound(
+        (num_vars, clauses) in arb_cnf(6, 12),
+        asm_bits in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        let asm: Vec<Lit> = asm_bits
+            .iter()
+            .enumerate()
+            .take(num_vars)
+            .map(|(i, &neg)| Lit::new(Var::from_index(i), neg))
+            .collect();
+        if s.solve_with_assumptions(&asm) == SolveResult::Unsat {
+            let core: Vec<Lit> = s.last_core().to_vec();
+            // Core literals must come from the assumptions (possibly negated
+            // convention: we return original polarity).
+            for l in &core {
+                prop_assert!(asm.contains(l), "core lit {l:?} not among assumptions");
+            }
+            // Re-solving under just the core must still be UNSAT (soundness
+            // of the core) — unless the formula itself is UNSAT.
+            if !core.is_empty() {
+                let r = s.solve_with_assumptions(&core);
+                prop_assert_eq!(r, SolveResult::Unsat);
+            } else {
+                prop_assert_eq!(s.solve(), SolveResult::Unsat);
+            }
+        }
+    }
+}
+
+#[test]
+fn php_family_unsat() {
+    // Pigeonhole principle instances PHP(n+1, n) are classically hard
+    // UNSAT instances that exercise learning and restarts.
+    for n in 2..=6usize {
+        let mut s = Solver::new();
+        let mut p = vec![vec![Lit::UNDEF; n]; n + 1];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::pos(s.new_var());
+            }
+        }
+        for i in 0..=n {
+            s.add_clause(p[i].clone());
+        }
+        for h in 0..n {
+            for i in 0..=n {
+                for j in (i + 1)..=n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat(), "PHP({},{}) must be UNSAT", n + 1, n);
+    }
+}
+
+#[test]
+fn graph_coloring_k3_on_cycles() {
+    // Odd cycles are not 2-colourable but are 3-colourable.
+    for len in [3usize, 5, 7, 9] {
+        for colors in [2usize, 3] {
+            let mut s = Solver::new();
+            let mut node = vec![vec![Lit::UNDEF; colors]; len];
+            for row in node.iter_mut() {
+                for cell in row.iter_mut() {
+                    *cell = Lit::pos(s.new_var());
+                }
+            }
+            for i in 0..len {
+                s.add_clause(node[i].clone());
+                for c1 in 0..colors {
+                    for c2 in (c1 + 1)..colors {
+                        s.add_clause([!node[i][c1], !node[i][c2]]);
+                    }
+                }
+            }
+            for i in 0..len {
+                let j = (i + 1) % len;
+                for c in 0..colors {
+                    s.add_clause([!node[i][c], !node[j][c]]);
+                }
+            }
+            let result = s.solve();
+            if colors == 2 {
+                assert!(result.is_unsat(), "odd cycle len {len} 2-colourable?");
+            } else {
+                assert!(result.is_sat(), "cycle len {len} must be 3-colourable");
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_strengthening_monotone() {
+    // Adding clauses can only shrink the solution set: once UNSAT, always
+    // UNSAT under further additions.
+    let mut s = Solver::new();
+    let v: Vec<Lit> = (0..6).map(|_| Lit::pos(s.new_var())).collect();
+    s.add_clause([v[0], v[1]]);
+    assert!(s.solve().is_sat());
+    s.add_clause([!v[0]]);
+    assert!(s.solve().is_sat());
+    s.add_clause([!v[1]]);
+    assert!(s.solve().is_unsat());
+    s.add_clause([v[2], v[3]]);
+    assert!(s.solve().is_unsat());
+}

@@ -1,0 +1,224 @@
+//! Structured stress families for the CDCL solver: crafted instances with
+//! known satisfiability, exercising learning, restarts, and the clause-
+//! database reduction machinery harder than the random smoke tests.
+
+use genfv_sat::{dimacs, Lit, SolveResult, Solver, SolverConfig, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn fresh_vars(s: &mut Solver, n: usize) -> Vec<Lit> {
+    (0..n).map(|_| Lit::pos(s.new_var())).collect()
+}
+
+/// XOR chains (parity constraints) — hard for resolution when long.
+/// x1 ⊕ x2 ⊕ ... ⊕ xn = parity, CNF-encoded pairwise with Tseitin vars.
+fn add_xor_chain(s: &mut Solver, vars: &[Lit], parity: bool) {
+    let mut acc = vars[0];
+    for &v in &vars[1..] {
+        // t = acc ⊕ v
+        let t = Lit::pos(s.new_var());
+        s.add_clause([!t, acc, v]);
+        s.add_clause([!t, !acc, !v]);
+        s.add_clause([t, !acc, v]);
+        s.add_clause([t, acc, !v]);
+        acc = t;
+    }
+    s.add_clause([if parity { acc } else { !acc }]);
+}
+
+#[test]
+fn xor_chain_consistency() {
+    // A chain forced to even parity plus a unit forcing odd on the same
+    // variables is UNSAT; a single consistent system is SAT.
+    for n in [8usize, 16, 32, 64] {
+        let mut s = Solver::new();
+        let vars = fresh_vars(&mut s, n);
+        add_xor_chain(&mut s, &vars, true);
+        assert!(s.solve().is_sat(), "odd-parity chain n={n} satisfiable");
+        // Model must actually have odd parity.
+        let ones = vars.iter().filter(|&&v| s.value(v) == Some(true)).count();
+        assert_eq!(ones % 2, 1, "model parity n={n}");
+
+        add_xor_chain(&mut s, &vars, false);
+        assert!(s.solve().is_unsat(), "contradictory parities n={n}");
+    }
+}
+
+/// Mutilated-chessboard-flavoured instance: pigeonhole with one extra
+/// "blocked" assignment, still UNSAT.
+#[test]
+fn php_with_blocked_cells() {
+    let n = 6usize;
+    let mut s = Solver::new();
+    let mut p = vec![vec![Lit::UNDEF; n]; n + 1];
+    for row in p.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell = Lit::pos(s.new_var());
+        }
+    }
+    for i in 0..=n {
+        s.add_clause(p[i].clone());
+    }
+    for h in 0..n {
+        for i in 0..=n {
+            for j in (i + 1)..=n {
+                s.add_clause([!p[i][h], !p[j][h]]);
+            }
+        }
+    }
+    // Block the diagonal for good measure.
+    for i in 0..n {
+        s.add_clause([!p[i][i]]);
+    }
+    assert!(s.solve().is_unsat());
+    let st = s.stats();
+    assert!(st.conflicts > 0, "PHP must require conflicts: {st:?}");
+}
+
+/// Random 3-SAT below/above the phase-transition density, cross-checked
+/// against brute force (small n keeps this honest and fast).
+#[test]
+fn random_3sat_near_threshold() {
+    let mut rng = SmallRng::seed_from_u64(0xDECAF);
+    for trial in 0..40 {
+        let n = 12usize;
+        let density = if trial % 2 == 0 { 3.0 } else { 5.2 };
+        let m = (n as f64 * density) as usize;
+        let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut lits = Vec::with_capacity(3);
+            while lits.len() < 3 {
+                let v = Var::from_index(rng.gen_range(0..n));
+                if lits.iter().any(|l: &Lit| l.var() == v) {
+                    continue;
+                }
+                lits.push(Lit::new(v, rng.gen_bool(0.5)));
+            }
+            clauses.push(lits);
+        }
+        // Brute force reference.
+        let mut expected = false;
+        'assign: for bits in 0u32..(1 << n) {
+            for c in &clauses {
+                let sat = c.iter().any(|l| ((bits >> l.var().index()) & 1 == 1) != l.is_neg());
+                if !sat {
+                    continue 'assign;
+                }
+            }
+            expected = true;
+            break;
+        }
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve().is_sat(), expected, "trial {trial} density {density}");
+    }
+}
+
+/// Long implication ladders stress propagation and backtracking depth.
+#[test]
+fn implication_ladder_with_deep_backtrack() {
+    let n = 2000usize;
+    let mut s = Solver::new();
+    let v = fresh_vars(&mut s, n);
+    for i in 0..(n - 1) {
+        s.add_clause([!v[i], v[i + 1]]);
+    }
+    // Choosing v[0] forces everything; contradict the tail under
+    // assumptions and confirm the core points at the head.
+    assert!(s.solve_with_assumptions(&[v[0], !v[n - 1]]).is_unsat());
+    let core = s.last_core().to_vec();
+    assert!(!core.is_empty());
+    assert!(core.iter().all(|l| *l == v[0] || *l == !v[n - 1]));
+    // Still solvable afterwards.
+    assert!(s.solve_with_assumptions(&[v[0]]).is_sat());
+    assert_eq!(s.value(v[n - 1]), Some(true));
+}
+
+/// Clause-DB reduction must not affect correctness: run a medium-hard
+/// instance with an aggressive reduction schedule and compare against the
+/// default configuration.
+#[test]
+fn aggressive_reduction_is_sound() {
+    let mk = |config: SolverConfig| -> (SolveResult, bool) {
+        let n = 7usize; // PHP(8,7): UNSAT, needs real learning
+        let mut s = Solver::with_config(config);
+        let mut p = vec![vec![Lit::UNDEF; n]; n + 1];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::pos(s.new_var());
+            }
+        }
+        for i in 0..=n {
+            s.add_clause(p[i].clone());
+        }
+        for h in 0..n {
+            for i in 0..=n {
+                for j in (i + 1)..=n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        let r = s.solve();
+        (r, s.stats().deleted_learnts > 0)
+    };
+    let (r_default, _) = mk(SolverConfig::default());
+    let aggressive = SolverConfig { first_reduce: 50, reduce_inc: 10, ..Default::default() };
+    let (r_aggr, _reduced) = mk(aggressive);
+    assert_eq!(r_default, SolveResult::Unsat);
+    assert_eq!(r_aggr, SolveResult::Unsat);
+}
+
+/// DIMACS round trip on a generated instance keeps verdicts stable.
+#[test]
+fn dimacs_roundtrip_preserves_verdict() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let n = 10usize;
+    let mut text = format!("p cnf {n} 30\n");
+    for _ in 0..30 {
+        for _ in 0..3 {
+            let v = rng.gen_range(1..=n) as i64;
+            let signed = if rng.gen_bool(0.5) { v } else { -v };
+            text.push_str(&format!("{signed} "));
+        }
+        text.push_str("0\n");
+    }
+    let cnf = dimacs::parse(&text).unwrap();
+    let mut s1 = Solver::new();
+    cnf.load_into(&mut s1);
+    let verdict1 = s1.solve();
+
+    let cnf2 = dimacs::parse(&dimacs::render(&cnf)).unwrap();
+    let mut s2 = Solver::new();
+    cnf2.load_into(&mut s2);
+    assert_eq!(verdict1.is_sat(), s2.solve().is_sat());
+}
+
+/// Many small incremental queries on one solver instance (the model-checker
+/// usage pattern: thousands of assumption solves over a growing formula).
+#[test]
+fn incremental_query_storm() {
+    let mut s = Solver::new();
+    let v = fresh_vars(&mut s, 64);
+    // Sorted-pairs structure: v[i] -> v[i+2].
+    for i in 0..62 {
+        s.add_clause([!v[i], v[i + 2]]);
+    }
+    for round in 0..200usize {
+        let a = v[round % 60];
+        let b = v[(round % 60) + 2];
+        match round % 3 {
+            0 => assert!(s.solve_with_assumptions(&[a]).is_sat()),
+            1 => assert!(s.solve_with_assumptions(&[a, !b]).is_unsat()),
+            _ => assert!(s.solve_with_assumptions(&[!a, b]).is_sat()),
+        }
+    }
+    // Formula keeps growing mid-storm.
+    s.add_clause([v[63]]);
+    assert!(s.solve().is_sat());
+    assert_eq!(s.value(v[63]), Some(true));
+}

@@ -1,0 +1,83 @@
+//! AST for the supported SVA subset.
+//!
+//! The boolean layer reuses [`genfv_hdl::ast::Expr`]; this module adds the
+//! temporal structure: bounded-delay sequences, overlapping (`|->`) and
+//! non-overlapping (`|=>`) implication, and `disable iff`.
+
+use genfv_hdl::ast::Expr;
+
+/// One step of a sequence: a boolean expression preceded by a `##n` delay
+/// relative to the previous step (the first step has delay 0).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SeqStep {
+    /// Cycles after the previous step (`##n`).
+    pub delay: u32,
+    /// The boolean expression that must hold.
+    pub expr: Expr,
+}
+
+/// A bounded sequence: `e0 ##n1 e1 ##n2 e2 ...`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Sequence {
+    /// The steps in order; `steps[0].delay` is always 0.
+    pub steps: Vec<SeqStep>,
+}
+
+impl Sequence {
+    /// Creates a single-step sequence.
+    pub fn single(expr: Expr) -> Self {
+        Sequence { steps: vec![SeqStep { delay: 0, expr }] }
+    }
+
+    /// Total span in cycles (sum of the delays).
+    pub fn span(&self) -> u32 {
+        self.steps.iter().map(|s| s.delay).sum()
+    }
+}
+
+/// The property body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PropBody {
+    /// A plain boolean invariant (may use `$past`/`$stable`/... inside).
+    Expr(Expr),
+    /// `ant |-> con` (overlapping) or `ant |=> con` (non-overlapping).
+    Implication {
+        /// Antecedent sequence.
+        antecedent: Sequence,
+        /// `true` for `|->` (consequent starts at the antecedent's last
+        /// cycle), `false` for `|=>` (one cycle later).
+        overlapping: bool,
+        /// Consequent sequence.
+        consequent: Sequence,
+    },
+}
+
+/// A parsed assertion (one property).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assertion {
+    /// Property name, if the source used `property <name>; ...`.
+    pub name: Option<String>,
+    /// Optional `disable iff (expr)` condition.
+    pub disable_iff: Option<Expr>,
+    /// The temporal body.
+    pub body: PropBody,
+}
+
+impl Assertion {
+    /// Creates an unnamed invariant assertion from a boolean expression.
+    pub fn invariant(expr: Expr) -> Self {
+        Assertion { name: None, disable_iff: None, body: PropBody::Expr(expr) }
+    }
+
+    /// The monitor depth: how many cycles of history the property needs.
+    pub fn depth(&self) -> u32 {
+        match &self.body {
+            PropBody::Expr(_) => 0,
+            PropBody::Implication { antecedent, overlapping, consequent } => {
+                let a = antecedent.span();
+                let extra = if *overlapping { 0 } else { 1 };
+                a + extra + consequent.span()
+            }
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Parser for the SVA subset.
+//!
+//! Accepted top-level forms (whitespace/comment tolerant):
+//!
+//! ```text
+//! property equal_count;  &count1 |-> &count2; endproperty
+//! assert property (@(posedge clk) disable iff (rst) a ##1 b |=> c);
+//! count1 == count2
+//! ```
+//!
+//! [`parse_assertions`] additionally scans free-form text (such as an LLM
+//! completion) and extracts every well-formed assertion it can find, which
+//! is how the GenAI flows consume model output.
+
+use crate::ast::{Assertion, PropBody, SeqStep, Sequence};
+use genfv_hdl::lexer::{lex, Tok, Token};
+use genfv_hdl::parser::{Parser as ExprParser, ParseError};
+use genfv_hdl::Pos;
+
+/// Parses a single assertion from `src`.
+///
+/// # Errors
+/// Returns [`ParseError`] when the text is not a valid assertion.
+pub fn parse_assertion(src: &str) -> Result<Assertion, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = SvaParser { tokens, pos: 0 };
+    let a = p.parse_assertion()?;
+    p.skip_trailing_semis();
+    if !p.at_eof() {
+        return Err(ParseError {
+            pos: p.peek_pos(),
+            message: format!("unexpected {} after assertion", p.peek_tok()),
+        });
+    }
+    Ok(a)
+}
+
+/// Extracts every parsable assertion from free-form text.
+///
+/// The scanner looks for `property ... endproperty` blocks and
+/// `assert property (...)` statements; each candidate region is parsed
+/// independently so one malformed assertion does not poison the rest
+/// (LLM output routinely interleaves prose with code).
+pub fn parse_assertions(text: &str) -> Vec<Assertion> {
+    let mut found = Vec::new();
+    // `property ... endproperty` blocks.
+    let mut rest = text;
+    let mut offset = 0usize;
+    while let Some(start) = rest.find("property") {
+        // Skip matches that are part of `endproperty` or identifiers.
+        let abs = offset + start;
+        let is_word_start = abs == 0
+            || !text.as_bytes()[abs - 1].is_ascii_alphanumeric()
+                && text.as_bytes()[abs - 1] != b'_';
+        let after = &rest[start..];
+        if let Some(end) = after.find("endproperty") {
+            if is_word_start && !after.starts_with("property;") {
+                let block = &after[..end + "endproperty".len()];
+                if let Ok(a) = parse_assertion(block) {
+                    found.push(a);
+                }
+            }
+            offset = abs + end + "endproperty".len();
+            rest = &text[offset..];
+        } else {
+            break;
+        }
+    }
+    // `assert property ( ... );` one-liners.
+    let mut rest = text;
+    let mut offset = 0usize;
+    while let Some(start) = rest.find("assert property") {
+        let abs = offset + start;
+        let after = &text[abs..];
+        // Find the balanced closing parenthesis.
+        if let Some(open) = after.find('(') {
+            let mut depth = 0usize;
+            let mut close = None;
+            for (i, c) in after[open..].char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(open + i);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(close) = close {
+                let stmt = &after[..=close];
+                if let Ok(a) = parse_assertion(stmt) {
+                    found.push(a);
+                }
+                offset = abs + close + 1;
+                rest = &text[offset..];
+                continue;
+            }
+        }
+        offset = abs + "assert property".len();
+        rest = &text[offset..];
+    }
+    found
+}
+
+struct SvaParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl SvaParser {
+    fn peek_tok(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_pos(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_tok(), Tok::Eof)
+    }
+
+    fn bump(&mut self) {
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek_tok(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek_tok(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(ParseError {
+                pos: self.peek_pos(),
+                message: format!("expected `{p}`, found {}", self.peek_tok()),
+            })
+        }
+    }
+
+    fn skip_trailing_semis(&mut self) {
+        while self.eat_punct(";") {}
+    }
+
+    fn parse_assertion(&mut self) -> Result<Assertion, ParseError> {
+        // `assert property ( <prop> ) ;`
+        if self.eat_kw("assert") {
+            if !self.eat_kw("property") {
+                return Err(ParseError {
+                    pos: self.peek_pos(),
+                    message: "expected `property` after `assert`".to_string(),
+                });
+            }
+            self.expect_punct("(")?;
+            let a = self.parse_property_body(None)?;
+            self.expect_punct(")")?;
+            self.skip_trailing_semis();
+            return Ok(a);
+        }
+        // `property name; <prop>; endproperty`
+        if self.eat_kw("property") {
+            let name = match self.peek_tok().clone() {
+                Tok::Ident(s) => {
+                    self.bump();
+                    Some(s)
+                }
+                _ => None,
+            };
+            self.expect_punct(";")?;
+            let a = self.parse_property_body(name)?;
+            self.skip_trailing_semis();
+            if !self.eat_kw("endproperty") {
+                return Err(ParseError {
+                    pos: self.peek_pos(),
+                    message: "expected `endproperty`".to_string(),
+                });
+            }
+            return Ok(a);
+        }
+        // Bare property body.
+        self.parse_property_body(None)
+    }
+
+    fn parse_property_body(&mut self, name: Option<String>) -> Result<Assertion, ParseError> {
+        // Optional clocking event: `@(posedge clk)` — accepted and ignored
+        // (the transition system is already clocked).
+        if self.eat_punct("@") {
+            self.expect_punct("(")?;
+            let mut depth = 1;
+            while depth > 0 {
+                if self.at_eof() {
+                    return Err(ParseError {
+                        pos: self.peek_pos(),
+                        message: "unterminated clocking event".to_string(),
+                    });
+                }
+                if self.eat_punct("(") {
+                    depth += 1;
+                } else if self.eat_punct(")") {
+                    depth -= 1;
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        // Optional `disable iff (expr)`.
+        let mut disable_iff = None;
+        if self.eat_kw("disable") {
+            if !self.eat_kw("iff") {
+                return Err(ParseError {
+                    pos: self.peek_pos(),
+                    message: "expected `iff` after `disable`".to_string(),
+                });
+            }
+            self.expect_punct("(")?;
+            let (expr, consumed) = self.parse_bool_expr()?;
+            self.pos += consumed;
+            self.expect_punct(")")?;
+            disable_iff = Some(expr);
+        }
+
+        let antecedent = self.parse_sequence()?;
+        let overlapping = if self.eat_punct("|->") {
+            Some(true)
+        } else if self.eat_punct("|=>") {
+            Some(false)
+        } else {
+            None
+        };
+        let body = match overlapping {
+            Some(overlapping) => {
+                let consequent = self.parse_sequence()?;
+                PropBody::Implication { antecedent, overlapping, consequent }
+            }
+            None => {
+                if antecedent.steps.len() != 1 {
+                    return Err(ParseError {
+                        pos: self.peek_pos(),
+                        message: "a sequence without implication must be a single boolean"
+                            .to_string(),
+                    });
+                }
+                PropBody::Expr(antecedent.steps.into_iter().next().expect("one step").expr)
+            }
+        };
+        Ok(Assertion { name, disable_iff, body })
+    }
+
+    fn parse_sequence(&mut self) -> Result<Sequence, ParseError> {
+        let mut steps = Vec::new();
+        let (expr, consumed) = self.parse_bool_expr()?;
+        self.pos += consumed;
+        steps.push(SeqStep { delay: 0, expr });
+        while self.eat_punct("##") {
+            let delay = match self.peek_tok().clone() {
+                Tok::Number { digits, base: 'i', .. } => {
+                    self.bump();
+                    digits.parse::<u32>().map_err(|_| ParseError {
+                        pos: self.peek_pos(),
+                        message: "bad delay".to_string(),
+                    })?
+                }
+                other => {
+                    return Err(ParseError {
+                        pos: self.peek_pos(),
+                        message: format!("expected delay count after `##`, found {other}"),
+                    })
+                }
+            };
+            if delay > 64 {
+                return Err(ParseError {
+                    pos: self.peek_pos(),
+                    message: format!("delay ##{delay} exceeds the supported bound of 64"),
+                });
+            }
+            let (expr, consumed) = self.parse_bool_expr()?;
+            self.pos += consumed;
+            steps.push(SeqStep { delay, expr });
+        }
+        Ok(Sequence { steps })
+    }
+
+    /// Parses a boolean-layer expression by handing the *remaining token
+    /// stream* to the HDL expression parser, then figuring out how many
+    /// tokens it consumed (the HDL parser stops before temporal operators,
+    /// which it does not know).
+    fn parse_bool_expr(&mut self) -> Result<(genfv_hdl::ast::Expr, usize), ParseError> {
+        // Reconstruct source from remaining tokens is fragile; instead feed
+        // the token slice to a fresh expression parser.
+        let remaining: Vec<Token> = self.tokens[self.pos..].to_vec();
+        let mut p = ExprParser::from_tokens(remaining);
+        let e = p.parse_expr()?;
+        Ok((e, p.position()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genfv_hdl::ast::{BinaryAstOp, Expr, UnaryAstOp};
+
+    #[test]
+    fn paper_listing_2_property() {
+        let a = parse_assertion(
+            "property equal_count;\n  &count1 |-> &count2;\nendproperty",
+        )
+        .unwrap();
+        assert_eq!(a.name.as_deref(), Some("equal_count"));
+        match &a.body {
+            PropBody::Implication { antecedent, overlapping, consequent } => {
+                assert!(*overlapping);
+                assert_eq!(antecedent.steps.len(), 1);
+                assert!(matches!(
+                    antecedent.steps[0].expr,
+                    Expr::Unary(UnaryAstOp::RedAnd, _)
+                ));
+                assert_eq!(consequent.steps.len(), 1);
+            }
+            other => panic!("expected implication, got {other:?}"),
+        }
+        assert_eq!(a.depth(), 0);
+    }
+
+    #[test]
+    fn paper_listing_3_helper() {
+        let a = parse_assertion("property helper;\n  count1 == count2;\nendproperty").unwrap();
+        assert_eq!(a.name.as_deref(), Some("helper"));
+        assert!(matches!(a.body, PropBody::Expr(Expr::Binary(BinaryAstOp::Eq, _, _))));
+    }
+
+    #[test]
+    fn bare_expression() {
+        let a = parse_assertion("count1 == count2").unwrap();
+        assert!(a.name.is_none());
+        assert!(matches!(a.body, PropBody::Expr(_)));
+    }
+
+    #[test]
+    fn assert_property_with_clocking_and_disable() {
+        let a = parse_assertion(
+            "assert property (@(posedge clk) disable iff (rst) req |=> grant);",
+        )
+        .unwrap();
+        assert!(a.disable_iff.is_some());
+        match a.body {
+            PropBody::Implication { overlapping, .. } => assert!(!overlapping),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(a.depth(), 1);
+    }
+
+    #[test]
+    fn delayed_sequences() {
+        let a = parse_assertion("a ##1 b ##2 c |-> d ##1 e").unwrap();
+        match &a.body {
+            PropBody::Implication { antecedent, consequent, overlapping } => {
+                assert!(*overlapping);
+                assert_eq!(antecedent.span(), 3);
+                assert_eq!(consequent.span(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(a.depth(), 4);
+    }
+
+    #[test]
+    fn dollar_functions_in_bool_layer() {
+        let a = parse_assertion("$stable(cfg) |-> $past(out) == out").unwrap();
+        assert_eq!(a.depth(), 0, "temporal depth comes from ##, not $past");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_assertion("").is_err());
+        assert!(parse_assertion("a |->").is_err());
+        assert!(parse_assertion("a ## b").is_err());
+        assert!(parse_assertion("a b c").is_err());
+        assert!(parse_assertion("property p; a; ").is_err(), "missing endproperty");
+        assert!(parse_assertion("a ##999 b").is_err(), "delay bound");
+    }
+
+    #[test]
+    fn scan_llm_completion_text() {
+        let completion = r#"
+Here are some helper assertions for your design:
+
+property lockstep;
+  count1 == count2;
+endproperty
+
+This one ensures the MSBs agree:
+
+assert property (count1[31] == count2[31]);
+
+property broken_syntax;
+  count1 === === count2;
+endproperty
+
+And some closing prose.
+"#;
+        let found = parse_assertions(completion);
+        assert_eq!(found.len(), 2, "two valid, one malformed");
+        assert_eq!(found[0].name.as_deref(), Some("lockstep"));
+        assert!(found[1].name.is_none());
+    }
+
+    #[test]
+    fn scan_handles_nested_parens() {
+        let text = "assert property ((a & b) |-> (c | (d & e)));";
+        let found = parse_assertions(text);
+        assert_eq!(found.len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Rendering assertions back to SVA text.
+//!
+//! The flows keep the *text* of every accepted lemma for reports and
+//! re-validation; this module reconstructs canonical source from the AST
+//! (fully parenthesised, so round-tripping through the parser is exact in
+//! structure).
+
+use crate::ast::{Assertion, PropBody, Sequence};
+use genfv_hdl::ast::{BinaryAstOp, Expr, UnaryAstOp};
+use std::fmt::Write as _;
+
+/// Renders a boolean-layer expression.
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Number { size, base, digits } => match (size, base) {
+            (Some(s), b) => format!("{s}'{b}{digits}"),
+            (None, 'i') => digits.clone(),
+            (None, 'f') => format!("'{digits}"),
+            (None, b) => format!("'{b}{digits}"),
+        },
+        Expr::Ident(n) => n.clone(),
+        Expr::Unary(op, a) => {
+            let sym = match op {
+                UnaryAstOp::BitNot => "~",
+                UnaryAstOp::LogNot => "!",
+                UnaryAstOp::Neg => "-",
+                UnaryAstOp::RedAnd => "&",
+                UnaryAstOp::RedOr => "|",
+                UnaryAstOp::RedXor => "^",
+            };
+            format!("{sym}({})", render_expr(a))
+        }
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinaryAstOp::Add => "+",
+                BinaryAstOp::Sub => "-",
+                BinaryAstOp::Mul => "*",
+                BinaryAstOp::Div => "/",
+                BinaryAstOp::Mod => "%",
+                BinaryAstOp::BitAnd => "&",
+                BinaryAstOp::BitOr => "|",
+                BinaryAstOp::BitXor => "^",
+                BinaryAstOp::Shl => "<<",
+                BinaryAstOp::Shr => ">>",
+                BinaryAstOp::Lt => "<",
+                BinaryAstOp::Le => "<=",
+                BinaryAstOp::Gt => ">",
+                BinaryAstOp::Ge => ">=",
+                BinaryAstOp::Eq => "==",
+                BinaryAstOp::Ne => "!=",
+                BinaryAstOp::LogAnd => "&&",
+                BinaryAstOp::LogOr => "||",
+            };
+            format!("({} {sym} {})", render_expr(a), render_expr(b))
+        }
+        Expr::Ternary(c, t, f) => {
+            format!("({} ? {} : {})", render_expr(c), render_expr(t), render_expr(f))
+        }
+        Expr::Index(b, i) => format!("{}[{}]", render_expr(b), render_expr(i)),
+        Expr::Range(b, hi, lo) => {
+            format!("{}[{}:{}]", render_expr(b), render_expr(hi), render_expr(lo))
+        }
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(render_expr).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Repl(n, x) => format!("{{{}{{{}}}}}", render_expr(n), render_expr(x)),
+        Expr::Call(name, args) => {
+            let inner: Vec<String> = args.iter().map(render_expr).collect();
+            format!("{name}({})", inner.join(", "))
+        }
+    }
+}
+
+fn render_sequence(s: &Sequence) -> String {
+    let mut out = String::new();
+    for (i, step) in s.steps.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, " ##{} ", step.delay);
+        }
+        out.push_str(&render_expr(&step.expr));
+    }
+    out
+}
+
+/// Renders just the property body (no `property`/`endproperty` wrapper).
+pub fn render_prop_body(body: &PropBody) -> String {
+    match body {
+        PropBody::Expr(e) => render_expr(e),
+        PropBody::Implication { antecedent, overlapping, consequent } => {
+            format!(
+                "{} {} {}",
+                render_sequence(antecedent),
+                if *overlapping { "|->" } else { "|=>" },
+                render_sequence(consequent)
+            )
+        }
+    }
+}
+
+/// Renders a complete assertion; named ones become `property ...;
+/// endproperty` blocks, anonymous ones a bare body.
+pub fn render_assertion(a: &Assertion) -> String {
+    let mut body = String::new();
+    if let Some(d) = &a.disable_iff {
+        let _ = write!(body, "disable iff ({}) ", render_expr(d));
+    }
+    body.push_str(&render_prop_body(&a.body));
+    match &a.name {
+        Some(n) => format!("property {n};\n  {body};\nendproperty"),
+        None => body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_assertion;
+
+    fn roundtrip(src: &str) {
+        let a1 = parse_assertion(src).unwrap();
+        let text = render_assertion(&a1);
+        let a2 = parse_assertion(&text)
+            .unwrap_or_else(|e| panic!("rendered text must re-parse: `{text}`: {e}"));
+        assert_eq!(a1.body, a2.body, "body mismatch for `{src}` → `{text}`");
+        assert_eq!(a1.disable_iff, a2.disable_iff);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("count1 == count2");
+        roundtrip("&count1 |-> &count2");
+        roundtrip("a ##1 b ##2 c |=> d");
+        roundtrip("property p; (a - b) == 8'd5; endproperty");
+        roundtrip("$onehot(state)");
+        roundtrip("$past(x, 2) == y");
+        roundtrip("disable iff (rst) req |=> gnt");
+        roundtrip("x[7:4] == {2'b01, y[1:0]}");
+        roundtrip("{4{x}} == z");
+        roundtrip("(a ? b : c) <= 4'hf");
+        roundtrip("!(a && b) || (c ^ d) == '0");
+    }
+
+    #[test]
+    fn anonymous_renders_bare() {
+        let a = parse_assertion("a == b").unwrap();
+        assert_eq!(render_assertion(&a), "(a == b)");
+    }
+
+    #[test]
+    fn named_renders_block() {
+        let a = parse_assertion("property p; a == b; endproperty").unwrap();
+        let text = render_assertion(&a);
+        assert!(text.starts_with("property p;"));
+        assert!(text.ends_with("endproperty"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Monitor-semantics tests: compile assertions against elaborated RTL and
+//! check the "ok" signal cycle by cycle with the simulator.
+
+use genfv_hdl::{elaborate, parse_source};
+use genfv_ir::{BitVecValue, Context, Simulator, TransitionSystem};
+use genfv_sva::{parse_assertion, PropertyCompiler};
+
+fn counter_design() -> (Context, TransitionSystem) {
+    let src = r#"
+module counter (input clk, rst, input en, output logic [7:0] count);
+  always_ff @(posedge clk) begin
+    if (rst) count <= '0;
+    else if (en) count <= count + 8'd1;
+  end
+endmodule
+"#;
+    let module = parse_source(src).unwrap().remove(0);
+    let mut ctx = Context::new();
+    let ts = elaborate(&mut ctx, &module).unwrap();
+    (ctx, ts)
+}
+
+#[test]
+fn invariant_monitor_tracks_value() {
+    let (mut ctx, mut ts) = counter_design();
+    let assertion = parse_assertion("count <= 8'd200").unwrap();
+    let prop = PropertyCompiler::new(&mut ctx, &mut ts).compile(&assertion).unwrap();
+    assert_eq!(prop.depth, 0);
+
+    let rst = ctx.find_symbol("rst").unwrap();
+    let en = ctx.find_symbol("en").unwrap();
+    let count = ctx.find_symbol("count").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    sim.set(en, BitVecValue::from_u64(1, 1));
+    for _ in 0..100 {
+        assert!(sim.peek(prop.ok).to_bool());
+        sim.step();
+    }
+    // Drive the counter past 200 by direct injection.
+    sim.set(count, BitVecValue::from_u64(201, 8));
+    assert!(!sim.peek(prop.ok).to_bool(), "violated above 200");
+}
+
+#[test]
+fn past_monitor_has_sva_time_zero_semantics() {
+    let (mut ctx, mut ts) = counter_design();
+    // After any cycle with en=0, the counter is stable.
+    let assertion = parse_assertion("!$past(en) && !$past(rst) |-> $stable(count)").unwrap();
+    let prop = PropertyCompiler::new(&mut ctx, &mut ts).compile(&assertion).unwrap();
+
+    let rst = ctx.find_symbol("rst").unwrap();
+    let en = ctx.find_symbol("en").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+
+    // Cycle 0: $past defaults to 0 ⇒ antecedent ($past(en)=0) is true;
+    // count is stable at 0, so ok.
+    assert!(sim.peek(prop.ok).to_bool());
+    // Run with en toggling; property must hold in every cycle.
+    for i in 0..50u64 {
+        sim.set(en, BitVecValue::from_bool(i % 3 == 0));
+        sim.step();
+        assert!(sim.peek(prop.ok).to_bool(), "cycle {i}");
+    }
+}
+
+#[test]
+fn nonoverlapping_implication_checks_next_cycle() {
+    let (mut ctx, mut ts) = counter_design();
+    // en and no rst now ⇒ count changes next cycle... except at wrap; use
+    // a weaker but exact property: en & ~rst & count < 255 |=> count != 0
+    // would still be wrong; use: en & !rst & (count == 3) |=> (count == 4).
+    let assertion = parse_assertion("en && !rst && (count == 8'd3) |=> (count == 8'd4)").unwrap();
+    let prop = PropertyCompiler::new(&mut ctx, &mut ts).compile(&assertion).unwrap();
+    assert_eq!(prop.depth, 1);
+
+    let rst = ctx.find_symbol("rst").unwrap();
+    let en = ctx.find_symbol("en").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    sim.set(en, BitVecValue::from_u64(1, 1));
+    for i in 0..20u64 {
+        assert!(sim.peek(prop.ok).to_bool(), "cycle {i}");
+        sim.step();
+    }
+}
+
+#[test]
+fn violated_implication_detected_at_completion() {
+    let (mut ctx, mut ts) = counter_design();
+    // Deliberately false: after count==3 with en, count==9 next cycle.
+    let assertion = parse_assertion("en && !rst && (count == 8'd3) |=> (count == 8'd9)").unwrap();
+    let prop = PropertyCompiler::new(&mut ctx, &mut ts).compile(&assertion).unwrap();
+
+    let rst = ctx.find_symbol("rst").unwrap();
+    let en = ctx.find_symbol("en").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    sim.set(en, BitVecValue::from_u64(1, 1));
+    let mut violated_at = None;
+    for i in 0..10u64 {
+        if !sim.peek(prop.ok).to_bool() {
+            violated_at = Some(i);
+            break;
+        }
+        sim.step();
+    }
+    // count==3 in cycle 3, completion (violation) observed in cycle 4.
+    assert_eq!(violated_at, Some(4));
+}
+
+#[test]
+fn delayed_sequence_monitor() {
+    let (mut ctx, mut ts) = counter_design();
+    // count==2 ##1 count==3 |-> count==3  (trivially true at completion).
+    let assertion =
+        parse_assertion("(count == 8'd2) ##1 (count == 8'd3) |-> (count == 8'd3)").unwrap();
+    let prop = PropertyCompiler::new(&mut ctx, &mut ts).compile(&assertion).unwrap();
+    assert_eq!(prop.depth, 1);
+
+    let rst = ctx.find_symbol("rst").unwrap();
+    let en = ctx.find_symbol("en").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    sim.set(en, BitVecValue::from_u64(1, 1));
+    for i in 0..30u64 {
+        assert!(sim.peek(prop.ok).to_bool(), "cycle {i}");
+        sim.step();
+    }
+}
+
+#[test]
+fn disable_iff_masks_violations() {
+    let (mut ctx, mut ts) = counter_design();
+    // False invariant, but disabled whenever rst is high.
+    let assertion = parse_assertion(
+        "assert property (@(posedge clk) disable iff (rst) count != 8'd0);",
+    )
+    .unwrap();
+    let prop = PropertyCompiler::new(&mut ctx, &mut ts).compile(&assertion).unwrap();
+
+    let rst = ctx.find_symbol("rst").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(1, 1));
+    // count==0 violates `count != 0`, but rst disables the property.
+    assert!(sim.peek(prop.ok).to_bool());
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    assert!(!sim.peek(prop.ok).to_bool(), "enabled now, count still 0");
+}
+
+#[test]
+fn unknown_signal_rejected() {
+    let (mut ctx, mut ts) = counter_design();
+    let assertion = parse_assertion("bogus == 8'd1").unwrap();
+    let err = PropertyCompiler::new(&mut ctx, &mut ts).compile(&assertion).unwrap_err();
+    assert!(err.to_string().contains("unknown signal"), "{err}");
+}
+
+#[test]
+fn paper_properties_compile_against_sync_counters() {
+    let src = r#"
+module sync_counters (input clk, rst, output logic [31:0] count1, count2);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      count1 <= 32'b0;
+      count2 <= 32'b0;
+    end else begin
+      count1++;
+      count2++;
+    end
+  end
+endmodule
+"#;
+    let module = parse_source(src).unwrap().remove(0);
+    let mut ctx = Context::new();
+    let mut ts = elaborate(&mut ctx, &module).unwrap();
+    let equal_count =
+        parse_assertion("property equal_count; &count1 |-> &count2; endproperty").unwrap();
+    let helper = parse_assertion("property helper; count1 == count2; endproperty").unwrap();
+    let mut pc = PropertyCompiler::new(&mut ctx, &mut ts);
+    let p1 = pc.compile(&equal_count).unwrap();
+    let p2 = pc.compile(&helper).unwrap();
+    assert_eq!(p1.name, "equal_count");
+    assert_eq!(p2.name, "helper");
+
+    // Both hold along the reset-reachable trace.
+    let rst = ctx.find_symbol("rst").unwrap();
+    let mut sim = Simulator::new(&ctx, &ts);
+    sim.reset();
+    sim.set(rst, BitVecValue::from_u64(0, 1));
+    for _ in 0..64 {
+        assert!(sim.peek(p1.ok).to_bool());
+        assert!(sim.peek(p2.ok).to_bool());
+        sim.step();
+    }
+}
+
+#[test]
+fn monitors_do_not_collide_across_compilers() {
+    let (mut ctx, mut ts) = counter_design();
+    let a1 = parse_assertion("$past(count) <= count || count == 8'd0").unwrap();
+    let p1 = PropertyCompiler::new(&mut ctx, &mut ts).compile(&a1).unwrap();
+    // A second compiler on the same design must not clash with the first
+    // compiler's history registers.
+    let a2 = parse_assertion("$past(en) || !$past(en)").unwrap();
+    let p2 = PropertyCompiler::new(&mut ctx, &mut ts).compile(&a2).unwrap();
+    assert_ne!(p1.ok, p2.ok);
+    let n_aux = ctx.symbols().filter(|(n, _)| n.starts_with("__sva_p")).count();
+    assert!(n_aux >= 2, "expected at least two distinct history registers, got {n_aux}");
+}

@@ -1,0 +1,75 @@
+//! No-panic fuzzing of the text-facing surfaces. `parse_assertions`
+//! consumes raw LLM completions — arbitrary bytes of prose, code, and
+//! damage — so the entire path must be total: any input, no panics.
+
+use genfv_sva::{parse_assertion, parse_assertions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_assertion_never_panics(input in ".{0,200}") {
+        let _ = parse_assertion(&input);
+    }
+
+    #[test]
+    fn parse_assertions_never_panics_on_prose(input in "[ -~\\n]{0,400}") {
+        let _ = parse_assertions(&input);
+    }
+
+    #[test]
+    fn parse_assertions_never_panics_with_keywords(
+        pieces in proptest::collection::vec(
+            prop_oneof![
+                Just("property "),
+                Just("endproperty"),
+                Just("assert property ("),
+                Just(")"),
+                Just(";"),
+                Just("|->"),
+                Just("##1"),
+                Just("count1"),
+                Just("=="),
+                Just("((("),
+                Just("8'd42"),
+                Just("$past("),
+                Just("\n"),
+            ],
+            0..40,
+        )
+    ) {
+        let text: String = pieces.concat();
+        let _ = parse_assertions(&text);
+    }
+
+    #[test]
+    fn hdl_lexer_never_panics(input in ".{0,200}") {
+        let _ = genfv_hdl::lex(&input);
+    }
+
+    #[test]
+    fn hdl_parser_never_panics(input in "[ -~\\n]{0,300}") {
+        let _ = genfv_hdl::parse_source(&input);
+        let _ = genfv_hdl::parse_expression(&input);
+    }
+}
+
+#[test]
+fn found_assertions_always_reparse() {
+    // Anything the scanner extracts must itself round-trip: scan → render
+    // → parse. Uses a grab bag of realistic completion fragments.
+    let samples = [
+        "property a; x == y; endproperty garbage property b; endproperty",
+        "assert property (a |-> b); and then assert property ((c));",
+        "prose ## property p; q ##1 r |=> s; endproperty more prose",
+    ];
+    for text in samples {
+        for assertion in parse_assertions(text) {
+            let rendered = genfv_sva::render_assertion(&assertion);
+            let reparsed = parse_assertion(&rendered)
+                .unwrap_or_else(|e| panic!("`{rendered}` must reparse: {e}"));
+            assert_eq!(assertion.body, reparsed.body);
+        }
+    }
+}

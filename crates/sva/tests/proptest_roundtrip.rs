@@ -1,0 +1,202 @@
+//! Property-based round-trip test: any assertion AST we can render must
+//! re-parse to the identical AST. This pins the renderer and parser
+//! against each other — the exact loop the flows rely on when they store
+//! accepted lemmas as text and later re-compile them.
+
+use genfv_hdl::ast::{BinaryAstOp, Expr, UnaryAstOp};
+use genfv_sva::{parse_assertion, render_assertion, Assertion, PropBody, SeqStep, Sequence};
+use proptest::prelude::*;
+
+/// Stack-machine expression generator (same trick as the IR differential
+/// test: avoids deeply recursive strategies).
+#[derive(Clone, Debug)]
+enum Op {
+    Ident(u8),
+    Num(u16),
+    SizedNum(u8, u16),
+    Not,
+    LogNot,
+    RedAnd,
+    RedOr,
+    RedXor,
+    Bin(u8),
+    Ternary,
+    Index(u8),
+    Past,
+    Stable,
+    CountOnes,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5).prop_map(Op::Ident),
+        any::<u16>().prop_map(Op::Num),
+        ((1u8..32), any::<u16>()).prop_map(|(w, v)| Op::SizedNum(w, v)),
+        Just(Op::Not),
+        Just(Op::LogNot),
+        Just(Op::RedAnd),
+        Just(Op::RedOr),
+        Just(Op::RedXor),
+        (0u8..14).prop_map(Op::Bin),
+        Just(Op::Ternary),
+        (0u8..8).prop_map(Op::Index),
+        Just(Op::Past),
+        Just(Op::Stable),
+        Just(Op::CountOnes),
+    ]
+}
+
+fn build_expr(ops: &[Op]) -> Expr {
+    let names = ["count1", "count2", "state", "req", "gnt"];
+    let mut stack: Vec<Expr> = vec![Expr::Ident("count1".to_string())];
+    for op in ops {
+        match op {
+            Op::Ident(i) => {
+                stack.push(Expr::Ident(names[*i as usize % names.len()].to_string()))
+            }
+            Op::Num(v) => stack.push(Expr::Number {
+                size: None,
+                base: 'i',
+                digits: v.to_string(),
+            }),
+            Op::SizedNum(w, v) => stack.push(Expr::Number {
+                size: Some(*w as u32),
+                base: 'd',
+                digits: v.to_string(),
+            }),
+            Op::Not => {
+                let a = stack.pop().unwrap();
+                stack.push(Expr::Unary(UnaryAstOp::BitNot, Box::new(a)));
+            }
+            Op::LogNot => {
+                let a = stack.pop().unwrap();
+                stack.push(Expr::Unary(UnaryAstOp::LogNot, Box::new(a)));
+            }
+            Op::RedAnd => {
+                let a = stack.pop().unwrap();
+                stack.push(Expr::Unary(UnaryAstOp::RedAnd, Box::new(a)));
+            }
+            Op::RedOr => {
+                let a = stack.pop().unwrap();
+                stack.push(Expr::Unary(UnaryAstOp::RedOr, Box::new(a)));
+            }
+            Op::RedXor => {
+                let a = stack.pop().unwrap();
+                stack.push(Expr::Unary(UnaryAstOp::RedXor, Box::new(a)));
+            }
+            Op::Bin(k) => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                let ops = [
+                    BinaryAstOp::Add,
+                    BinaryAstOp::Sub,
+                    BinaryAstOp::Mul,
+                    BinaryAstOp::BitAnd,
+                    BinaryAstOp::BitOr,
+                    BinaryAstOp::BitXor,
+                    BinaryAstOp::Shl,
+                    BinaryAstOp::Shr,
+                    BinaryAstOp::Lt,
+                    BinaryAstOp::Le,
+                    BinaryAstOp::Eq,
+                    BinaryAstOp::Ne,
+                    BinaryAstOp::LogAnd,
+                    BinaryAstOp::LogOr,
+                ];
+                let op = ops[*k as usize % ops.len()];
+                stack.push(Expr::Binary(op, Box::new(a), Box::new(b)));
+            }
+            Op::Ternary => {
+                if stack.len() < 3 {
+                    continue;
+                }
+                let e = stack.pop().unwrap();
+                let t = stack.pop().unwrap();
+                let c = stack.pop().unwrap();
+                stack.push(Expr::Ternary(Box::new(c), Box::new(t), Box::new(e)));
+            }
+            Op::Index(i) => {
+                let a = stack.pop().unwrap();
+                // Only index identifiers: indexing arbitrary expressions is
+                // not valid Verilog and the renderer would parenthesise.
+                if matches!(a, Expr::Ident(_)) {
+                    stack.push(Expr::Index(
+                        Box::new(a),
+                        Box::new(Expr::Number {
+                            size: None,
+                            base: 'i',
+                            digits: i.to_string(),
+                        }),
+                    ));
+                } else {
+                    stack.push(a);
+                }
+            }
+            Op::Past => {
+                let a = stack.pop().unwrap();
+                stack.push(Expr::Call("$past".to_string(), vec![a]));
+            }
+            Op::Stable => {
+                let a = stack.pop().unwrap();
+                stack.push(Expr::Call("$stable".to_string(), vec![a]));
+            }
+            Op::CountOnes => {
+                let a = stack.pop().unwrap();
+                stack.push(Expr::Call("$countones".to_string(), vec![a]));
+            }
+        }
+    }
+    stack.pop().unwrap()
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    proptest::collection::vec(arb_op(), 0..16).prop_map(|ops| build_expr(&ops))
+}
+
+fn arb_seq() -> impl Strategy<Value = Sequence> {
+    (proptest::collection::vec(arb_op(), 0..10), proptest::collection::vec(0u32..4, 0..3))
+        .prop_map(|(ops, delays)| {
+            let mut steps = vec![SeqStep { delay: 0, expr: build_expr(&ops) }];
+            for d in delays {
+                steps.push(SeqStep {
+                    delay: d + 1,
+                    expr: Expr::Ident("req".to_string()),
+                });
+            }
+            Sequence { steps }
+        })
+}
+
+fn arb_assertion() -> impl Strategy<Value = Assertion> {
+    (
+        proptest::option::of("[a-z][a-z0-9_]{0,10}"),
+        proptest::option::of(arb_expr()),
+        prop_oneof![
+            arb_expr().prop_map(PropBody::Expr),
+            (arb_seq(), any::<bool>(), arb_seq()).prop_map(|(a, o, c)| {
+                PropBody::Implication { antecedent: a, overlapping: o, consequent: c }
+            }),
+        ],
+    )
+        .prop_map(|(name, disable_iff, body)| Assertion { name, disable_iff, body })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_parse_roundtrip(assertion in arb_assertion()) {
+        let text = render_assertion(&assertion);
+        let reparsed = parse_assertion(&text)
+            .unwrap_or_else(|e| panic!("rendered assertion must parse: `{text}`: {e}"));
+        prop_assert_eq!(&assertion.body, &reparsed.body, "body mismatch via `{}`", text);
+        prop_assert_eq!(&assertion.disable_iff, &reparsed.disable_iff);
+        // Names round-trip only for the block form.
+        if assertion.name.is_some() {
+            prop_assert_eq!(&assertion.name, &reparsed.name);
+        }
+    }
+}

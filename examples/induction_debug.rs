@@ -1,0 +1,69 @@
+//! Induction-failure debugging walkthrough.
+//!
+//! Shows the artefacts a verification engineer (or an LLM) works with when
+//! an induction step fails: the step counterexample as an ASCII waveform
+//! and as a VCD dump, the exact prompt that Flow 2 would send, and the raw
+//! completion text that comes back — junk and all — before validation.
+//!
+//! Run with: `cargo run --example induction_debug`
+
+use genfv::genai::{LanguageModel, Prompt};
+use genfv::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bundle = genfv::designs::by_name("fifo_counters").expect("corpus design");
+    let design = bundle.prepare()?;
+
+    // Find the failing target by hand to get at the raw trace.
+    let target = design
+        .targets
+        .iter()
+        .find(|t| t.name == "pointers_meet_only_when_empty")
+        .expect("fifo target");
+    let prover = KInduction::new(&design.ctx, &design.ts, CheckConfig::default());
+    let result = prover.prove(&target.prop, &[]);
+
+    let ProveResult::StepFailure { k, trace, .. } = result else {
+        panic!("expected a step failure, got {result:?}");
+    };
+    println!("=== Induction step failure at k={k} ===\n");
+    println!("{}", render_waveform(&trace));
+
+    println!("=== Same trace as VCD (first lines) ===");
+    let vcd = genfv::mc::to_vcd(&trace);
+    for line in vcd.lines().take(14) {
+        println!("{line}");
+    }
+    println!("... ({} bytes total)\n", vcd.len());
+
+    // The exact Flow-2 prompt for this failure.
+    let final_values: BTreeMap<String, String> = trace
+        .last_step()
+        .map(|s| s.values.iter().map(|(k, v)| (k.clone(), format!("{v}"))).collect())
+        .unwrap_or_default();
+    let prompt =
+        Prompt::flow2(&design.rtl, &target.sva, &render_waveform(&trace), &final_values);
+    println!("=== Flow-2 prompt (user payload) ===\n{}", prompt.user);
+
+    // Ask two different profiles and show the raw completions.
+    for profile in [ModelProfile::GptFourTurbo, ModelProfile::LlamaThree] {
+        let mut llm = SyntheticLlm::new(profile, 99);
+        let completion = llm.complete(&prompt);
+        println!("=== raw completion from {} ===\n{}", llm.name(), completion.text);
+        let parsed = parse_assertions(&completion.text);
+        println!(
+            "--> {} parseable assertion(s), {} estimated tokens, ~{:.1}s simulated latency\n",
+            parsed.len(),
+            completion.completion_tokens,
+            completion.latency.as_secs_f64()
+        );
+    }
+
+    // And the full repair loop for comparison.
+    let mut llm = SyntheticLlm::new(ModelProfile::GptFourTurbo, 99);
+    let report = run_flow2(bundle.prepare()?, &mut llm, &FlowConfig::default());
+    println!("=== Flow-2 event log ===\n{}", genfv::core::render_events(&report));
+    assert!(report.all_proven());
+    Ok(())
+}

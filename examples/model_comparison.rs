@@ -1,0 +1,62 @@
+//! Model-quality comparison (the paper's Section-V observation).
+//!
+//! Runs Flow 2 with each emulated model profile over the lemma-hungry
+//! corpus and prints per-model quality metrics. The expected shape matches
+//! the paper: the GPT-4-class profiles close more targets with fewer
+//! hallucinated (rejected) assertions than the Llama/Gemini-class ones.
+//!
+//! Run with: `cargo run --example model_comparison`
+
+use genfv::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = genfv::designs::lemma_hungry_designs();
+    println!(
+        "Comparing {} model profiles over {} lemma-hungry designs\n",
+        ModelProfile::ALL.len(),
+        corpus.len()
+    );
+
+    let mut table = genfv::core::Table::new([
+        "model",
+        "targets closed",
+        "lemmas",
+        "rejected",
+        "llm calls",
+        "completion tokens",
+    ]);
+    for profile in ModelProfile::ALL {
+        let mut closed = 0usize;
+        let mut total = 0usize;
+        let mut lemmas = 0usize;
+        let mut rejected = 0usize;
+        let mut calls = 0usize;
+        let mut tokens = 0usize;
+        for bundle in &corpus {
+            let mut llm = SyntheticLlm::new(profile, 1234);
+            let report = run_flow2(bundle.prepare()?, &mut llm, &FlowConfig::default());
+            total += report.targets.len();
+            closed += report.targets.iter().filter(|t| t.outcome.is_proven()).count();
+            lemmas += report.metrics.lemmas_accepted;
+            rejected += report.metrics.rejected_compile
+                + report.metrics.rejected_false
+                + report.metrics.rejected_not_inductive;
+            calls += report.metrics.llm_calls;
+            tokens += report.metrics.completion_tokens;
+        }
+        table.row([
+            profile.name().to_string(),
+            format!("{closed}/{total}"),
+            lemmas.to_string(),
+            rejected.to_string(),
+            calls.to_string(),
+            tokens.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper Section V): gpt-4-turbo ≈ gpt-4o close everything with\n\
+         little junk; llama/gemini need more retries and leave targets open."
+    );
+    Ok(())
+}

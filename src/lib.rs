@@ -1,0 +1,60 @@
+//! # genfv — Generative-AI-augmented induction-based formal verification
+//!
+//! A from-scratch Rust reproduction of *"Generative AI Augmented
+//! Induction-based Formal Verification"* (Kumar & Gadde, IEEE SOCC 2024,
+//! arXiv:2407.18965): k-induction hardware model checking in which an LLM
+//! proposes helper assertions (lemmas) — upfront from the specification
+//! and RTL (paper Fig. 1), and reactively from induction-step
+//! counterexamples (paper Fig. 2).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sat`] | `genfv-sat` | CDCL SAT solver (watched literals, VSIDS, 1UIP, Luby, LBD, assumptions) |
+//! | [`ir`] | `genfv-ir` | bitvector values, hash-consed word-level IR, transition systems, simulator, bit-blaster |
+//! | [`hdl`] | `genfv-hdl` | Verilog-subset frontend (lexer → parser → elaborator) |
+//! | [`sva`] | `genfv-sva` | SVA-subset assertions: parser, monitor compiler, renderer |
+//! | [`mc`] | `genfv-mc` | BMC + k-induction with lemma support, CEX traces, waveforms, VCD |
+//! | [`genai`] | `genfv-genai` | prompts, `LanguageModel` trait, synthetic model profiles, invariant miner |
+//! | [`core`] | `genfv-core` | the paper's flows: validation gauntlet, Houdini, Flow 1/Flow 2 |
+//! | [`designs`] | `genfv-designs` | the evaluation corpus (counters + ECC + FIFO designs) |
+//!
+//! ## The paper in five lines
+//!
+//! ```
+//! use genfv::prelude::*;
+//!
+//! let design = genfv::designs::by_name("sync_counters_16").unwrap().prepare()?;
+//! let mut llm = SyntheticLlm::new(ModelProfile::GptFourTurbo, 42);
+//! let report = run_flow2(design, &mut llm, &FlowConfig::default());
+//! assert!(report.all_proven());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use genfv_core as core;
+pub use genfv_designs as designs;
+pub use genfv_genai as genai;
+pub use genfv_hdl as hdl;
+pub use genfv_ir as ir;
+pub use genfv_mc as mc;
+pub use genfv_sat as sat;
+pub use genfv_sva as sva;
+
+/// The items most applications need.
+pub mod prelude {
+    pub use genfv_core::{
+        run_baseline, run_flow1, run_flow2, FlowConfig, FlowReport, PreparedDesign,
+        TargetOutcome,
+    };
+    pub use genfv_genai::{LanguageModel, ModelProfile, Prompt, SyntheticLlm};
+    pub use genfv_ir::{BitVecValue, Context, Simulator, TransitionSystem};
+    pub use genfv_mc::{
+        bmc, render_final_bits, render_waveform, CheckConfig, KInduction, Property,
+        ProveResult, Trace,
+    };
+    pub use genfv_sva::{parse_assertion, parse_assertions, PropertyCompiler};
+}
