@@ -1,0 +1,151 @@
+//! Incremental vs rebuild-per-iteration Houdini on the counters and ECC
+//! designs, with a machine-readable summary in `BENCH_houdini.json`
+//! (written to the bench's working directory, overridable through the
+//! `GENFV_BENCH_JSON` environment variable).
+//!
+//! The "rebuild" contestant is the pre-incremental algorithm: a fresh
+//! unroller (full re-bit-blast plus a brand-new solver) per strengthening
+//! iteration and a standalone BMC run per candidate base case. The
+//! "incremental" contestant is `genfv_core::houdini` — one session, one
+//! bit-blast, selector-guarded hypotheses, batched obligations. Both see
+//! identical candidate pools (the deterministic synthetic-LLM Flow-1
+//! completion per design) and, by the corpus differential test, accept
+//! identical subsets — so the timing difference is pure solver-reuse win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genfv_core::{houdini, Candidate, PreparedDesign, ValidateConfig};
+use genfv_genai::{LanguageModel, ModelProfile, Prompt, SyntheticLlm};
+use genfv_ir::ExprRef;
+use genfv_mc::{bmc, BmcResult, Property, Unroller};
+use genfv_sat::SolveResult;
+use genfv_sva::{parse_assertions, PropertyCompiler};
+
+/// Counters + ECC members of the corpus (the paper's evaluation families).
+const DESIGNS: &[&str] =
+    &["sync_counters_16", "modn_counter", "parity_pipe", "hamming74", "ecc_counter"];
+
+fn corpus_candidates(bundle: &genfv_designs::DesignBundle) -> Vec<Candidate> {
+    let targets: Vec<String> = bundle.targets.iter().map(|(_, sva)| sva.clone()).collect();
+    let prompt = Prompt::flow1(bundle.spec, bundle.rtl, &targets);
+    let mut llm = SyntheticLlm::new(ModelProfile::GptFourTurbo, 42);
+    let completion = llm.complete(&prompt);
+    parse_assertions(&completion.text)
+        .into_iter()
+        .enumerate()
+        .map(|(i, assertion)| {
+            let name = assertion.name.clone().unwrap_or_else(|| format!("candidate_{i}"));
+            let text = genfv_sva::render_prop_body(&assertion.body);
+            Candidate { name, text, assertion }
+        })
+        .collect()
+}
+
+/// The pre-incremental Houdini loop (see the module docs).
+fn rebuild_houdini(
+    design: &PreparedDesign,
+    candidates: &[Candidate],
+    config: &ValidateConfig,
+) -> Vec<usize> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut ctx = design.ctx.clone();
+    let mut ts = design.ts.clone();
+    let mut exprs: Vec<Option<ExprRef>> = Vec::with_capacity(candidates.len());
+    {
+        let mut pc = PropertyCompiler::new(&mut ctx, &mut ts);
+        for cand in candidates {
+            exprs.push(pc.compile(&cand.assertion).ok().map(|c| c.ok));
+        }
+    }
+    let mut alive: Vec<usize> = Vec::new();
+    for (i, expr) in exprs.iter().enumerate() {
+        let Some(e) = expr else { continue };
+        let prop = Property::new(candidates[i].name.clone(), *e);
+        match bmc(&ctx, &ts, &prop, &[], config.bmc_depth, &config.check) {
+            BmcResult::Clean { .. } => alive.push(i),
+            BmcResult::Falsified { .. } => {}
+        }
+    }
+    loop {
+        if alive.is_empty() {
+            break;
+        }
+        let mut unroller = Unroller::new(&ctx, &ts, false);
+        unroller.ensure_frame(1);
+        let lits0: Vec<_> =
+            alive.iter().map(|&i| unroller.lit_at(0, exprs[i].expect("alive"))).collect();
+        let lits1: Vec<_> =
+            alive.iter().map(|&i| unroller.lit_at(1, exprs[i].expect("alive"))).collect();
+        let mut dropped_any = false;
+        let mut still_alive = alive.clone();
+        for pos in 0..alive.len() {
+            if !still_alive.contains(&alive[pos]) {
+                continue;
+            }
+            let mut assumptions = Vec::with_capacity(lits0.len() + 1);
+            for (p, &l0) in lits0.iter().enumerate() {
+                if still_alive.contains(&alive[p]) {
+                    assumptions.push(l0);
+                }
+            }
+            assumptions.push(!lits1[pos]);
+            match unroller.blaster_mut().solve_with_assumptions(&assumptions) {
+                SolveResult::Sat => {
+                    let model_false: Vec<usize> = alive
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| {
+                            still_alive.contains(&alive[p])
+                                && unroller.blaster().solver().value(lits1[p]) == Some(false)
+                        })
+                        .map(|(_, &i)| i)
+                        .collect();
+                    still_alive.retain(|i| !model_false.contains(i));
+                    dropped_any = true;
+                }
+                SolveResult::Unsat => {}
+                SolveResult::Unknown => {
+                    still_alive.retain(|&i| i != alive[pos]);
+                    dropped_any = true;
+                }
+            }
+        }
+        alive = still_alive;
+        if !dropped_any {
+            break;
+        }
+    }
+    alive
+}
+
+fn bench_houdini(c: &mut Criterion) {
+    let config = ValidateConfig::default();
+    let mut group = c.benchmark_group("houdini");
+    group.sample_size(10);
+    for name in DESIGNS {
+        let bundle = genfv_designs::by_name(name).expect("corpus");
+        let design = bundle.prepare().expect("prepare");
+        let candidates = corpus_candidates(&bundle);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", name),
+            &(&design, &candidates),
+            |b, (design, candidates)| b.iter(|| houdini(design, &[], candidates, &config)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rebuild", name),
+            &(&design, &candidates),
+            |b, (design, candidates)| b.iter(|| rebuild_houdini(design, candidates, &config)),
+        );
+    }
+    group.finish();
+}
+
+fn export_json(c: &mut Criterion) {
+    let path =
+        std::env::var("GENFV_BENCH_JSON").unwrap_or_else(|_| "BENCH_houdini.json".to_string());
+    c.export_json(&path);
+}
+
+criterion_group!(benches, bench_houdini, export_json);
+criterion_main!(benches);

@@ -50,13 +50,11 @@ fn main() {
                 let mut llm = SyntheticLlm::new(profile, seed);
                 let report = run_flow2(bundle.prepare().expect("prepare"), &mut llm, &config);
                 targets_total += report.targets.len();
-                targets_closed +=
-                    report.targets.iter().filter(|t| t.outcome.is_proven()).count();
+                targets_closed += report.targets.iter().filter(|t| t.outcome.is_proven()).count();
                 parsed += report.metrics.candidates_parsed;
                 unparseable += report.metrics.candidates_unparseable;
                 accepted += report.metrics.lemmas_accepted;
-                hallucinated +=
-                    report.metrics.rejected_compile + report.metrics.rejected_false;
+                hallucinated += report.metrics.rejected_compile + report.metrics.rejected_false;
                 calls += report.metrics.llm_calls;
                 proof_time += report.metrics.proof_time;
                 runs += 1;
@@ -64,8 +62,7 @@ fn main() {
         }
 
         let emitted = parsed + unparseable;
-        let valid_rate =
-            if emitted > 0 { parsed as f64 / emitted as f64 } else { 1.0 };
+        let valid_rate = if emitted > 0 { parsed as f64 / emitted as f64 } else { 1.0 };
         let accept_rate = if parsed > 0 { accepted as f64 / parsed as f64 } else { 0.0 };
         let halluc_rate = if emitted > 0 { hallucinated as f64 / emitted as f64 } else { 0.0 };
         closed_by_model.push((profile, targets_closed, targets_total));

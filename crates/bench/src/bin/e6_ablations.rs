@@ -19,8 +19,7 @@ fn main() {
 
 fn ablation_houdini() {
     println!("E6a: Houdini joint induction on/off\n");
-    let mut table =
-        Table::new(["design", "houdini", "lemmas accepted", "targets closed"]);
+    let mut table = Table::new(["design", "houdini", "lemmas accepted", "targets closed"]);
     for bundle in genfv_designs::lemma_hungry_designs() {
         for use_houdini in [true, false] {
             let config = FlowConfig { use_houdini, ..experiment_config() };
@@ -88,8 +87,8 @@ fn ablation_hallucination_sweep() {
         let mut rejected = 0usize;
         let mut iterations = 0usize;
         for bundle in &corpus {
-            let mut llm =
-                SyntheticLlm::new(ModelProfile::GptFourTurbo, 8008).with_error_rates(rate, rate / 4.0);
+            let mut llm = SyntheticLlm::new(ModelProfile::GptFourTurbo, 8008)
+                .with_error_rates(rate, rate / 4.0);
             let report =
                 run_flow2(bundle.prepare().expect("prepare"), &mut llm, &experiment_config());
             total += report.targets.len();

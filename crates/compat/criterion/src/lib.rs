@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this path crate provides
+//! the benchmarking API subset the workspace uses: [`Criterion`],
+//! benchmark groups with `sample_size`/`bench_function`/`bench_with_input`,
+//! [`BenchmarkId::from_parameter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — one warm-up run, then
+//! `sample_size` timed runs per benchmark — and every measurement is
+//! recorded on the [`Criterion`] instance so benches can export a
+//! machine-readable summary with [`Criterion::export_json`] (the real
+//! criterion writes equivalent data under `target/criterion/`). Statistical
+//! analysis, plots, and baseline comparison are out of scope.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded benchmark result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub bench: String,
+    /// Timed runs.
+    pub samples: usize,
+    /// Mean wall-clock per run.
+    pub mean: Duration,
+    /// Fastest run.
+    pub min: Duration,
+    /// Slowest run.
+    pub max: Duration,
+}
+
+/// The benchmark driver; collects [`Measurement`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Creates an empty driver.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Writes all recorded measurements as a JSON array to `path`.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be written (benches treat that as fatal).
+    pub fn export_json(&self, path: &str) {
+        let mut out = String::from("[\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let comma = if i + 1 == self.measurements.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \
+                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}",
+                escape(&m.group),
+                escape(&m.bench),
+                m.samples,
+                m.mean.as_nanos(),
+                m.min.as_nanos(),
+                m.max.as_nanos(),
+                comma
+            );
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Identifies a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed runs per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        SAMPLE_SIZE.with(|s| s.set(self.sample_size));
+        let mut b = Bencher { runs: Vec::new() };
+        f(&mut b);
+        self.record(id, b);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        SAMPLE_SIZE.with(|s| s.set(self.sample_size));
+        let mut b = Bencher { runs: Vec::new() };
+        f(&mut b, input);
+        self.record(id.name, b);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+
+    fn record(&mut self, bench: String, b: Bencher) {
+        // The closure passed to `iter` has already produced one warm-up
+        // run plus `sample_size` timed runs (see `Bencher::iter`).
+        let runs = &b.runs;
+        assert!(!runs.is_empty(), "bench `{bench}` never called Bencher::iter");
+        let total: Duration = runs.iter().sum();
+        let mean = total / runs.len() as u32;
+        let min = *runs.iter().min().expect("non-empty");
+        let max = *runs.iter().max().expect("non-empty");
+        println!(
+            "{:<40} time: [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+            format!("{}/{}", self.name, bench),
+            min,
+            mean,
+            max,
+            runs.len()
+        );
+        self.parent.measurements.push(Measurement {
+            group: self.name.clone(),
+            bench,
+            samples: runs.len(),
+            mean,
+            min,
+            max,
+        });
+    }
+}
+
+// `sample_size` lives on the group; smuggle it into the bencher via a
+// thread local so `iter` knows how many runs to time.
+thread_local! {
+    static SAMPLE_SIZE: std::cell::Cell<usize> = const { std::cell::Cell::new(10) };
+}
+
+/// Times closures.
+pub struct Bencher {
+    runs: Vec<Duration>,
+}
+
+impl Bencher {
+    /// One warm-up call, then the configured number of timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let n = SAMPLE_SIZE.with(|s| s.get());
+        black_box(f());
+        for _ in 0..n {
+            let t0 = Instant::now();
+            black_box(f());
+            self.runs.push(t0.elapsed());
+        }
+    }
+}
+
+/// Declares a group-runner function executing each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions on one shared
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn records_measurements() {
+        let mut c = Criterion::new();
+        quick(&mut c);
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.measurements().iter().all(|m| m.samples == 3));
+    }
+
+    #[test]
+    fn json_export_roundtrips_names() {
+        let mut c = Criterion::new();
+        quick(&mut c);
+        let path = std::env::temp_dir().join("criterion_shim_test.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        c.export_json(path);
+        let body = std::fs::read_to_string(path).expect("read back");
+        assert!(body.contains("\"group\": \"g\""));
+        assert!(body.contains("\"bench\": \"sum\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -11,10 +11,13 @@
 //! candidate fates, proof effort) and an event log for human inspection.
 
 use crate::design::PreparedDesign;
-use crate::houdini::validate_batch;
+use crate::houdini::validate_batch_with_stats;
 use crate::validate::{install_lemma, Candidate, Lemma, ValidateConfig, ValidationOutcome};
 use genfv_genai::{LanguageModel, Prompt};
-use genfv_mc::{render_waveform, CheckConfig, KInduction, ProveResult, Trace};
+use genfv_mc::{
+    prove_rebuild, render_waveform, CheckConfig, EngineMode, ProofSession, Property, ProveResult,
+    SessionStats, Trace,
+};
 use genfv_sva::parse_assertions;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -46,6 +49,8 @@ pub struct FlowMetrics {
     pub iterations: usize,
     /// Wall-clock spent in SAT-based checking.
     pub proof_time: Duration,
+    /// Solver-reuse counters aggregated across the flow's sessions.
+    pub solver: SessionStats,
     /// Total wall clock for the flow.
     pub total_time: Duration,
 }
@@ -144,6 +149,53 @@ impl Default for FlowConfig {
     }
 }
 
+impl FlowConfig {
+    /// This configuration with every check — candidate validation,
+    /// Houdini, and target proofs — forced onto `engine`. The
+    /// rebuild-vs-incremental bench uses this to run the identical flow on
+    /// both architectures.
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.validate.engine = engine;
+        self
+    }
+
+    /// The engine architecture this flow's checks run on.
+    pub fn engine(&self) -> EngineMode {
+        self.validate.engine
+    }
+}
+
+/// One target proof under the configured engine: a throwaway
+/// [`ProofSession`] in incremental mode (the caller passes a persistent
+/// one where the design is stable), fresh unrollers in rebuild mode.
+fn prove_target(
+    design: &PreparedDesign,
+    lemma_exprs: &[genfv_ir::ExprRef],
+    prop: &Property,
+    config: &FlowConfig,
+    metrics: &mut FlowMetrics,
+) -> ProveResult {
+    match config.engine() {
+        EngineMode::Incremental => {
+            // A repair iteration may install lemmas (mutating the design),
+            // so the session lives per attempt; the attempt's base and
+            // step cases still share its one bit-blast. (A known
+            // refinement: iterations that installed nothing leave the
+            // design untouched and could reuse the previous session, but
+            // the borrow of `design` across `ingest_candidates` makes that
+            // a larger restructuring — see ROADMAP open items.)
+            let mut session = ProofSession::new(&design.ctx, &design.ts, config.check.clone());
+            session.add_lemmas(lemma_exprs);
+            let res = session.prove(prop);
+            metrics.solver.absorb(session.stats());
+            res
+        }
+        EngineMode::RebuildPerQuery => {
+            prove_rebuild(&design.ctx, &design.ts, prop, lemma_exprs, &config.check)
+        }
+    }
+}
+
 /// Extracts candidates from a completion, numbering anonymous ones.
 fn candidates_from_completion(text: &str) -> Vec<Candidate> {
     let assertions = parse_assertions(text);
@@ -151,8 +203,7 @@ fn candidates_from_completion(text: &str) -> Vec<Candidate> {
         .into_iter()
         .enumerate()
         .map(|(i, assertion)| {
-            let name =
-                assertion.name.clone().unwrap_or_else(|| format!("candidate_{i}"));
+            let name = assertion.name.clone().unwrap_or_else(|| format!("candidate_{i}"));
             // Canonical text reconstructed from the AST: reports can quote
             // the lemma, and re-parsing it yields the same assertion.
             let text = genfv_sva::render_prop_body(&assertion.body);
@@ -180,7 +231,7 @@ fn ingest_candidates(
 ) {
     let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
     let t0 = Instant::now();
-    let (accepted, outcomes) = validate_batch(
+    let (accepted, outcomes, solver_stats) = validate_batch_with_stats(
         design,
         &lemma_exprs,
         candidates,
@@ -188,6 +239,7 @@ fn ingest_candidates(
         config.use_houdini,
     );
     metrics.proof_time += t0.elapsed();
+    metrics.solver.absorb(&solver_stats);
     for (i, outcome) in outcomes.iter().enumerate() {
         match outcome {
             ValidationOutcome::CompileRejected(msg) => {
@@ -255,14 +307,25 @@ pub fn run_flow1(
     ));
     ingest_candidates(&mut design, &mut lemmas, &candidates, config, &mut metrics, &mut events);
 
-    // Prove targets with the accepted lemmas.
+    // Prove targets with the accepted lemmas — one session for the whole
+    // batch: the design is bit-blasted once and every target proof reuses
+    // the frames and learnt clauses of its predecessors. (In rebuild mode
+    // each target gets fresh unrollers instead.)
     let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
     let mut target_reports = Vec::new();
-    let targets = design.targets.clone();
-    for target in &targets {
+    let mut session = (config.engine() == EngineMode::Incremental).then(|| {
+        let mut s = ProofSession::new(&design.ctx, &design.ts, config.check.clone());
+        s.add_lemmas(&lemma_exprs);
+        s
+    });
+    for target in &design.targets {
         let t0 = Instant::now();
-        let prover = KInduction::new(&design.ctx, &design.ts, config.check.clone());
-        let res = prover.prove(&target.prop, &lemma_exprs);
+        let res = match session.as_mut() {
+            Some(s) => s.prove(&target.prop),
+            None => {
+                prove_rebuild(&design.ctx, &design.ts, &target.prop, &lemma_exprs, &config.check)
+            }
+        };
         metrics.proof_time += t0.elapsed();
         let outcome = match res {
             ProveResult::Proven { k, .. } => {
@@ -280,6 +343,9 @@ pub fn run_flow1(
             ProveResult::Unknown { reason, .. } => TargetOutcome::Unknown { reason },
         };
         target_reports.push(TargetReport { name: target.name.clone(), outcome });
+    }
+    if let Some(s) = &session {
+        metrics.solver.absorb(s.stats());
     }
 
     metrics.total_time = start.elapsed();
@@ -312,8 +378,7 @@ pub fn run_flow2(
         for iteration in 0..=config.max_iterations {
             let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
             let t0 = Instant::now();
-            let prover = KInduction::new(&design.ctx, &design.ts, config.check.clone());
-            let res = prover.prove(&target.prop, &lemma_exprs);
+            let res = prove_target(&design, &lemma_exprs, &target.prop, config, &mut metrics);
             metrics.proof_time += t0.elapsed();
             match res {
                 ProveResult::Proven { k, .. } => {
@@ -321,8 +386,7 @@ pub fn run_flow2(
                         "[flow2] `{}` proven at k={k} after {iteration} repair iteration(s)",
                         target.name
                     ));
-                    outcome =
-                        Some(TargetOutcome::Proven { k, lemmas_used: lemma_exprs.len() });
+                    outcome = Some(TargetOutcome::Proven { k, lemmas_used: lemma_exprs.len() });
                     break;
                 }
                 ProveResult::Falsified { at, .. } => {
@@ -340,8 +404,7 @@ pub fn run_flow2(
                             "[flow2] `{}` exhausted {} iterations, still failing at k={k}",
                             target.name, config.max_iterations
                         ));
-                        outcome =
-                            Some(TargetOutcome::StillUnproven { k, trace: Box::new(trace) });
+                        outcome = Some(TargetOutcome::StillUnproven { k, trace: Box::new(trace) });
                         break;
                     }
                     metrics.iterations += 1;
@@ -355,14 +418,10 @@ pub fn run_flow2(
                     let final_values: BTreeMap<String, String> = trace
                         .last_step()
                         .map(|s| {
-                            s.values
-                                .iter()
-                                .map(|(k, v)| (k.clone(), format!("{v}")))
-                                .collect()
+                            s.values.iter().map(|(k, v)| (k.clone(), format!("{v}"))).collect()
                         })
                         .unwrap_or_default();
-                    let prompt =
-                        Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
+                    let prompt = Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
                     let completion = llm.complete(&prompt);
                     metrics.llm_calls += 1;
                     metrics.prompt_tokens += completion.prompt_tokens;
@@ -396,9 +455,8 @@ pub fn run_flow2(
         }
         target_reports.push(TargetReport {
             name: target.name.clone(),
-            outcome: outcome.unwrap_or(TargetOutcome::Unknown {
-                reason: "no iterations executed".to_string(),
-            }),
+            outcome: outcome
+                .unwrap_or(TargetOutcome::Unknown { reason: "no iterations executed".to_string() }),
         });
     }
 
@@ -420,10 +478,15 @@ pub fn run_baseline(design: &PreparedDesign, config: &FlowConfig) -> FlowReport 
     let mut metrics = FlowMetrics::default();
     let mut events = Vec::new();
     let mut target_reports = Vec::new();
+    // One session for the whole baseline: no lemmas, shared frames.
+    let mut session = (config.engine() == EngineMode::Incremental)
+        .then(|| ProofSession::new(&design.ctx, &design.ts, config.check.clone()));
     for target in &design.targets {
         let t0 = Instant::now();
-        let prover = KInduction::new(&design.ctx, &design.ts, config.check.clone());
-        let res = prover.prove(&target.prop, &[]);
+        let res = match session.as_mut() {
+            Some(s) => s.prove(&target.prop),
+            None => prove_rebuild(&design.ctx, &design.ts, &target.prop, &[], &config.check),
+        };
         metrics.proof_time += t0.elapsed();
         let outcome = match res {
             ProveResult::Proven { k, .. } => {
@@ -438,6 +501,9 @@ pub fn run_baseline(design: &PreparedDesign, config: &FlowConfig) -> FlowReport 
             ProveResult::Unknown { reason, .. } => TargetOutcome::Unknown { reason },
         };
         target_reports.push(TargetReport { name: target.name.clone(), outcome });
+    }
+    if let Some(s) = &session {
+        metrics.solver.absorb(s.stats());
     }
     metrics.total_time = start.elapsed();
     FlowReport {
@@ -488,8 +554,7 @@ pub fn run_combined(
         for iteration in 0..=config.max_iterations {
             let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
             let t0 = Instant::now();
-            let prover = KInduction::new(&design.ctx, &design.ts, config.check.clone());
-            let res = prover.prove(&target.prop, &lemma_exprs);
+            let res = prove_target(&design, &lemma_exprs, &target.prop, config, &mut metrics);
             metrics.proof_time += t0.elapsed();
             match res {
                 ProveResult::Proven { k, .. } => {
@@ -512,8 +577,7 @@ pub fn run_combined(
                 }
                 ProveResult::StepFailure { k, trace, .. } => {
                     if iteration == config.max_iterations {
-                        outcome =
-                            Some(TargetOutcome::StillUnproven { k, trace: Box::new(trace) });
+                        outcome = Some(TargetOutcome::StillUnproven { k, trace: Box::new(trace) });
                         break;
                     }
                     metrics.iterations += 1;
@@ -529,8 +593,7 @@ pub fn run_combined(
                             s.values.iter().map(|(k, v)| (k.clone(), format!("{v}"))).collect()
                         })
                         .unwrap_or_default();
-                    let prompt =
-                        Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
+                    let prompt = Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
                     let completion = llm.complete(&prompt);
                     metrics.llm_calls += 1;
                     metrics.prompt_tokens += completion.prompt_tokens;
@@ -553,9 +616,8 @@ pub fn run_combined(
         }
         target_reports.push(TargetReport {
             name: target.name.clone(),
-            outcome: outcome.unwrap_or(TargetOutcome::Unknown {
-                reason: "no iterations executed".to_string(),
-            }),
+            outcome: outcome
+                .unwrap_or(TargetOutcome::Unknown { reason: "no iterations executed".to_string() }),
         });
     }
 

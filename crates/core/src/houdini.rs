@@ -7,11 +7,40 @@
 //! some step-case model until the remainder is inductive. Combined with a
 //! base-case (BMC) check per candidate, every survivor is a proven
 //! invariant and may be used as a lemma.
+//!
+//! ## Incremental architecture
+//!
+//! The whole run — every per-candidate base case and every strengthening
+//! iteration — executes on **one** [`genfv_mc::ProofSession`], i.e. one
+//! bit-blast and one persistent solver:
+//!
+//! * each candidate's frame-0 hypothesis hangs off a *selector literal*
+//!   (`sel → cand@0`); the iteration assumes the selectors of the alive
+//!   set, and dropping a falsified candidate just retires its selector —
+//!   no re-bit-blast, and the solver keeps everything it has learnt;
+//! * each iteration checks **all** frame-1 obligations in a single query
+//!   through a violation-witness literal (`w → ⋁ ¬candᵢ@1`): UNSAT means
+//!   the alive set is inductive (fixpoint, and the assumption core names
+//!   the hypotheses that carried the proof); SAT yields a model whose
+//!   false obligations are exactly the candidates to drop;
+//! * base cases ([`genfv_mc::ProofSession::any_violation`], frame-by-frame with
+//!   early exit over the same session) are **deferred** until the step
+//!   fixpoint stabilises and run only for its survivors; a base drop
+//!   re-enters the fixpoint. The classic base-first formulation and this
+//!   order converge to the same set — the greatest jointly-inductive
+//!   subset of the base-clean candidates — but the deferred order keeps
+//!   the solver at two frames for the bulk of the sweeps and never pays
+//!   deep unrolling for candidates the fixpoint kills anyway.
+//!
+//! Solver-reuse counters for the run are returned in
+//! [`HoudiniResult::session`].
 
 use crate::design::PreparedDesign;
 use crate::validate::{Candidate, ValidateConfig, ValidationOutcome};
 use genfv_ir::ExprRef;
-use genfv_mc::{bmc, BmcResult, CheckConfig, Property, Unroller};
+use genfv_mc::{
+    bmc_rebuild, BmcResult, EngineMode, ProofSession, Property, SessionStats, Unroller,
+};
 use genfv_sat::SolveResult;
 use genfv_sva::PropertyCompiler;
 
@@ -23,8 +52,18 @@ pub struct HoudiniResult {
     pub accepted: Vec<usize>,
     /// Number of strengthening iterations performed.
     pub iterations: usize,
-    /// Solver queries issued.
+    /// Solver queries issued (assumption-based, on the one session).
     pub solver_calls: usize,
+    /// Solver-reuse statistics: `session.bitblasts` is 1 for any run with
+    /// candidates, however many iterations the fixpoint takes.
+    pub session: SessionStats,
+    /// Indices (into the input slice) of the hypotheses whose selectors
+    /// appeared in the assumption core of the final fixpoint-establishing
+    /// UNSAT sweep — the candidates that actually *carried* the joint
+    /// induction proof. A subset of `accepted`; empty when the pool died
+    /// entirely or the run used [`EngineMode::RebuildPerQuery`] (the
+    /// reference engine does not track cores).
+    pub carried: Vec<usize>,
 }
 
 /// Runs Houdini over `candidates` on a clone of the design.
@@ -42,6 +81,187 @@ pub fn houdini(
     if candidates.is_empty() {
         return result;
     }
+    if config.engine == EngineMode::RebuildPerQuery {
+        return houdini_rebuild(design, proven_lemmas, candidates, config);
+    }
+
+    // Compile all candidates on one clone (they may share monitor state).
+    // Compilation must finish before the session exists so monitor state
+    // unrolls with the frames.
+    let mut ctx = design.ctx.clone();
+    let mut ts = design.ts.clone();
+    let mut exprs: Vec<Option<ExprRef>> = Vec::with_capacity(candidates.len());
+    {
+        let mut pc = PropertyCompiler::new(&mut ctx, &mut ts);
+        for cand in candidates {
+            exprs.push(pc.compile(&cand.assertion).ok().map(|c| c.ok));
+        }
+    }
+
+    // The one bit-blast of this run.
+    let mut session = ProofSession::new(&ctx, &ts, config.check.clone());
+    session.add_lemmas(proven_lemmas);
+
+    // Work order: the 2-frame step fixpoint runs *first* over every
+    // compiled candidate, and the (deeper-unrolling) base cases are only
+    // checked for fixpoint survivors; any base drop re-enters the
+    // fixpoint. This converges to the classic base-first answer — the
+    // final set is the greatest jointly-inductive subset of the base-clean
+    // candidates, every intermediate fixpoint contains it, and base
+    // verdicts are per-candidate — while keeping the solver small during
+    // the bulk of the sweeps and skipping bounded-reachability work for
+    // candidates that die in the fixpoint anyway.
+    let mut alive: Vec<usize> = (0..candidates.len()).filter(|&i| exprs[i].is_some()).collect();
+
+    // Selector-guarded hypotheses at frame 0, batched obligations at
+    // frame 1.
+    let mut selectors: Vec<Option<genfv_sat::Lit>> = vec![None; candidates.len()];
+    let mut obligations: Vec<Option<genfv_sat::Lit>> = vec![None; candidates.len()];
+    for &i in &alive {
+        let e = exprs[i].expect("alive implies compiled");
+        let sel = session.new_selector();
+        session.guard_fact(sel, 0, e);
+        selectors[i] = Some(sel);
+        obligations[i] = Some(session.literal(1, e));
+    }
+    let mut base_checked: Vec<bool> = vec![false; candidates.len()];
+
+    'outer: loop {
+        result.iterations += 1;
+        if alive.is_empty() {
+            break;
+        }
+        let batch: Vec<(usize, ExprRef)> =
+            alive.iter().map(|&i| (1, exprs[i].expect("alive"))).collect();
+        let witness = session.new_violation_witness(&batch);
+        let mut assumptions: Vec<genfv_sat::Lit> =
+            alive.iter().map(|&i| selectors[i].expect("alive has selector")).collect();
+        assumptions.push(witness);
+        let res = session.solve_under(false, 1, &assumptions);
+        // Each witness is for one iteration only; retire it so later
+        // models are not forced to satisfy a stale disjunction.
+        session.retire_selector(witness);
+        match res {
+            SolveResult::Unsat => {
+                // Fixpoint w.r.t. the step case: every obligation holds
+                // under the alive hypotheses. The assumption core names
+                // the hypotheses that actually carried the proof — record
+                // them (the final fixpoint's core is what gets reported).
+                let core = session.last_core().to_vec();
+                result.carried = alive
+                    .iter()
+                    .copied()
+                    .filter(|&i| selectors[i].is_some_and(|s| core.contains(&s)))
+                    .collect();
+                // Now pay for the deferred base cases; any drop re-enters
+                // the fixpoint.
+                if !base_check_survivors(
+                    &mut session,
+                    &mut alive,
+                    &mut selectors,
+                    &mut base_checked,
+                    &exprs,
+                    config.bmc_depth,
+                ) {
+                    break 'outer;
+                }
+            }
+            SolveResult::Sat => {
+                // Drop every candidate falsified at frame 1 in this model
+                // (standard Houdini acceleration) by flipping selectors.
+                let model_false: Vec<usize> = alive
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        session.value(obligations[i].expect("alive has obligation")) == Some(false)
+                    })
+                    .collect();
+                debug_assert!(!model_false.is_empty());
+                for &i in &model_false {
+                    session.retire_selector(selectors[i].take().expect("alive"));
+                }
+                alive.retain(|i| !model_false.contains(i));
+            }
+            SolveResult::Unknown => {
+                // Budget pressure: fall back to per-candidate obligations
+                // for this iteration, dropping any that stay unknown —
+                // the rebuild loop's conservative behaviour.
+                let mut dropped_any = false;
+                let snapshot = alive.clone();
+                for &i in &snapshot {
+                    if !alive.contains(&i) {
+                        continue;
+                    }
+                    let mut asm: Vec<genfv_sat::Lit> =
+                        alive.iter().map(|&j| selectors[j].expect("alive has selector")).collect();
+                    asm.push(!obligations[i].expect("alive has obligation"));
+                    match session.solve_under(false, 1, &asm) {
+                        SolveResult::Unsat => {}
+                        SolveResult::Sat => {
+                            let model_false: Vec<usize> = alive
+                                .iter()
+                                .copied()
+                                .filter(|&j| {
+                                    session.value(obligations[j].expect("alive")) == Some(false)
+                                })
+                                .collect();
+                            for &j in &model_false {
+                                session.retire_selector(selectors[j].take().expect("alive"));
+                            }
+                            alive.retain(|j| !model_false.contains(j));
+                            dropped_any = true;
+                        }
+                        SolveResult::Unknown => {
+                            session.retire_selector(selectors[i].take().expect("alive"));
+                            alive.retain(|&j| j != i);
+                            dropped_any = true;
+                        }
+                    }
+                }
+                if !dropped_any
+                    && !base_check_survivors(
+                        &mut session,
+                        &mut alive,
+                        &mut selectors,
+                        &mut base_checked,
+                        &exprs,
+                        config.bmc_depth,
+                    )
+                {
+                    // The fixpoint closed through per-candidate queries,
+                    // not a recorded batched sweep: any earlier core was
+                    // computed under a since-shrunk hypothesis set.
+                    result.carried.clear();
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    result.accepted = alive;
+    // A base-case drop after the last recorded fixpoint can invalidate
+    // core members; keep `carried` a subset of the survivors.
+    result.carried.retain(|i| result.accepted.contains(i));
+    result.solver_calls = session.stats().solver_calls as usize;
+    result.session = *session.stats();
+    result
+}
+
+/// The pre-incremental Houdini loop, preserved as the rebuild-per-query
+/// reference: a fresh [`Unroller`] (full re-bit-blast, brand-new solver)
+/// per strengthening iteration, a standalone BMC run per candidate base
+/// case, lemmas asserted rather than activated, and one solver query per
+/// alive candidate per sweep. Houdini's fixpoint (the unique maximal
+/// mutually-inductive subset) is canonical, so this must accept exactly
+/// the sets the incremental engine accepts — the corpus differential test
+/// pins that.
+fn houdini_rebuild(
+    design: &PreparedDesign,
+    proven_lemmas: &[ExprRef],
+    candidates: &[Candidate],
+    config: &ValidateConfig,
+) -> HoudiniResult {
+    let mut result = HoudiniResult::default();
 
     // Compile all candidates on one clone (they may share monitor state).
     let mut ctx = design.ctx.clone();
@@ -54,22 +274,19 @@ pub fn houdini(
         }
     }
 
-    // Base case: each candidate must have no reachable violation within
-    // the sanity bound.
+    // Base case: a full BMC run (fresh unroller) per candidate.
     let mut alive: Vec<usize> = Vec::new();
     for (i, expr) in exprs.iter().enumerate() {
         let Some(e) = expr else { continue };
         let prop = Property::new(candidates[i].name.clone(), *e);
-        match bmc(&ctx, &ts, &prop, proven_lemmas, config.bmc_depth, &config.check) {
+        result.solver_calls += 1;
+        match bmc_rebuild(&ctx, &ts, &prop, proven_lemmas, config.bmc_depth, &config.check) {
             BmcResult::Clean { .. } => alive.push(i),
             BmcResult::Falsified { .. } => {}
         }
-        result.solver_calls += 1;
     }
 
-    // Step fixpoint at k = 1: assume all alive at frame 0 (plus lemmas at
-    // both frames), require each alive at frame 1.
-    let step_cfg = CheckConfig { ..config.check.clone() };
+    // Step fixpoint at k = 1 with a fresh unroller per iteration.
     loop {
         result.iterations += 1;
         if alive.is_empty() {
@@ -94,8 +311,7 @@ pub fn houdini(
 
         let mut dropped_any = false;
         let mut still_alive = alive.clone();
-        for (pos, &_cand_idx) in alive.iter().enumerate() {
-            // Skip candidates already dropped in this sweep.
+        for (pos, _) in alive.iter().enumerate() {
             if !still_alive.contains(&alive[pos]) {
                 continue;
             }
@@ -106,14 +322,12 @@ pub fn houdini(
                 }
             }
             assumptions.push(!lits1[pos]);
-            if let Some(b) = step_cfg.conflict_budget {
+            if let Some(b) = config.check.conflict_budget {
                 unroller.blaster_mut().solver_mut().set_conflict_budget(b);
             }
             result.solver_calls += 1;
             match unroller.blaster_mut().solve_with_assumptions(&assumptions) {
                 SolveResult::Sat => {
-                    // Drop every candidate falsified at frame 1 in this
-                    // model (standard Houdini acceleration).
                     let model_false: Vec<usize> = alive
                         .iter()
                         .enumerate()
@@ -123,13 +337,11 @@ pub fn houdini(
                         })
                         .map(|(_, &i)| i)
                         .collect();
-                    debug_assert!(!model_false.is_empty());
                     still_alive.retain(|i| !model_false.contains(i));
                     dropped_any = true;
                 }
                 SolveResult::Unsat => {}
                 SolveResult::Unknown => {
-                    // Budget pressure: drop conservatively.
                     still_alive.retain(|&i| i != alive[pos]);
                     dropped_any = true;
                 }
@@ -145,6 +357,37 @@ pub fn houdini(
     result
 }
 
+/// Runs the bounded-reachability base case for every alive candidate that
+/// has not had one yet ([`ProofSession::any_violation`], frame-by-frame
+/// with early exit, all on the session's persistent base solver),
+/// retiring and removing the violated ones. Returns whether anything was
+/// dropped (in which case the step fixpoint must re-run without the
+/// dropped hypotheses).
+fn base_check_survivors(
+    session: &mut ProofSession<'_>,
+    alive: &mut Vec<usize>,
+    selectors: &mut [Option<genfv_sat::Lit>],
+    base_checked: &mut [bool],
+    exprs: &[Option<ExprRef>],
+    depth: usize,
+) -> bool {
+    let mut dropped = false;
+    let snapshot = alive.clone();
+    for &i in &snapshot {
+        if base_checked[i] {
+            continue;
+        }
+        base_checked[i] = true;
+        let e = exprs[i].expect("alive implies compiled");
+        if session.any_violation(e, depth) {
+            session.retire_selector(selectors[i].take().expect("alive has selector"));
+            alive.retain(|&j| j != i);
+            dropped = true;
+        }
+    }
+    dropped
+}
+
 /// Convenience: validates a batch with individual induction first, then
 /// Houdini over the stragglers. Returns `(accepted_indices, outcomes)`.
 pub fn validate_batch(
@@ -154,28 +397,46 @@ pub fn validate_batch(
     config: &ValidateConfig,
     use_houdini: bool,
 ) -> (Vec<usize>, Vec<ValidationOutcome>) {
-    let mut outcomes = Vec::with_capacity(candidates.len());
+    let (accepted, outcomes, _) =
+        validate_batch_with_stats(design, proven_lemmas, candidates, config, use_houdini);
+    (accepted, outcomes)
+}
+
+/// [`validate_batch`] plus the aggregated solver-reuse statistics of every
+/// session involved (the sharded individual-validation sessions and the
+/// Houdini session).
+///
+/// The individual phase runs on [`crate::parallel::validate_parallel_with_stats`]:
+/// one design clone, one bit-blast, and one persistent solver **per worker
+/// shard** instead of per candidate and per check.
+pub fn validate_batch_with_stats(
+    design: &PreparedDesign,
+    proven_lemmas: &[ExprRef],
+    candidates: &[Candidate],
+    config: &ValidateConfig,
+    use_houdini: bool,
+) -> (Vec<usize>, Vec<ValidationOutcome>, SessionStats) {
+    let (outcomes, mut stats) =
+        crate::parallel::validate_parallel_with_stats(design, proven_lemmas, candidates, config);
     let mut accepted = Vec::new();
     let mut parked: Vec<usize> = Vec::new();
-    for (i, cand) in candidates.iter().enumerate() {
-        let out = crate::validate::validate_candidate(design, proven_lemmas, cand, config);
+    for (i, out) in outcomes.iter().enumerate() {
         if out.is_proven() {
             accepted.push(i);
-        } else if out == ValidationOutcome::NotInductiveAlone {
+        } else if *out == ValidationOutcome::NotInductiveAlone {
             parked.push(i);
         }
-        outcomes.push(out);
     }
+    let mut outcomes = outcomes;
     if use_houdini && !parked.is_empty() {
         // Pool the stragglers together with the individually-proven
         // candidates: mutual induction may need them as hypotheses.
         // Individually-inductive members always survive Houdini, so this
         // cannot lose accepted candidates.
-        let pool_indices: Vec<usize> =
-            accepted.iter().chain(parked.iter()).copied().collect();
-        let pool: Vec<Candidate> =
-            pool_indices.iter().map(|&i| candidates[i].clone()).collect();
+        let pool_indices: Vec<usize> = accepted.iter().chain(parked.iter()).copied().collect();
+        let pool: Vec<Candidate> = pool_indices.iter().map(|&i| candidates[i].clone()).collect();
         let hres = houdini(design, proven_lemmas, &pool, config);
+        stats.absorb(&hres.session);
         for &pool_idx in &hres.accepted {
             let orig = pool_indices[pool_idx];
             if !accepted.contains(&orig) {
@@ -185,7 +446,7 @@ pub fn validate_batch(
         }
     }
     accepted.sort_unstable();
-    (accepted, outcomes)
+    (accepted, outcomes, stats)
 }
 
 #[cfg(test)]
@@ -230,7 +491,7 @@ endmodule
         let d = mutually_inductive_design();
         let cands = vec![
             cand("a == b"),
-            cand("a != b"),  // false from reset: base case kills it
+            cand("a != b"),   // false from reset: base case kills it
             cand("a < 4'd3"), // false eventually
         ];
         let res = houdini(&d, &[], &cands, &Default::default());
@@ -260,6 +521,27 @@ endmodule
         assert_eq!(accepted, vec![0, 1]);
         assert!(matches!(outcomes[2], ValidationOutcome::CompileRejected(_)));
         assert!(matches!(outcomes[3], ValidationOutcome::FalseByBmc { .. }));
+    }
+
+    #[test]
+    fn incremental_houdini_bitblasts_once() {
+        let d = mutually_inductive_design();
+        // A mix that exercises the base case, a strengthening drop, and
+        // the UNSAT fixpoint — every phase on the one session.
+        let cands = vec![cand("a == b"), cand("&a |-> &b"), cand("a < 4'd3")];
+        let res = houdini(&d, &[], &cands, &Default::default());
+        let s = res.session;
+        assert_eq!(s.bitblasts, 1, "the whole run must bit-blast exactly once");
+        assert!(s.solver_calls >= 2, "base cases + at least one sweep");
+        assert_eq!(
+            s.rebuilds_avoided,
+            s.solver_calls - 1,
+            "every query after the first reuses the loaded solver"
+        );
+        assert_eq!(res.solver_calls as u64, s.solver_calls);
+        assert!(s.selectors_created >= 2, "hypothesis selectors + witnesses");
+        assert!(s.clauses_retained > 0, "clause capital carried between queries");
+        assert_eq!(res.accepted, vec![0, 1]);
     }
 
     #[test]

@@ -20,6 +20,23 @@
 //! mechanising the paper's "analyze the output from the LLM before using
 //! it productively" guidance.
 //!
+//! **Incremental proof sessions.** Every stage of the gauntlet runs on
+//! persistent [`genfv_mc::ProofSession`]s rather than engines rebuilt per
+//! query: the parallel validator gives each worker shard one session for
+//! its whole slice of candidates ([`validate_parallel`]), Houdini runs
+//! its entire fixpoint — hypothesis activation, batched obligations,
+//! retraction of falsified candidates, deferred base cases — on one
+//! session and reports the hypotheses in the final proof's assumption
+//! core ([`HoudiniResult::carried`]), and the flows prove targets on
+//! shared sessions wherever the design is stable. The pre-session
+//! architecture survives behind [`genfv_mc::EngineMode::RebuildPerQuery`]
+//! (selectable through [`ValidateConfig::engine`] /
+//! [`FlowConfig::with_engine`]) as the reference for the corpus
+//! differential suite and the `e8_incremental_sessions` benchmark; both
+//! modes produce identical verdicts, the incremental one just gets there
+//! without re-bit-blasting. Solver-reuse counters surface in
+//! [`FlowMetrics::solver`].
+//!
 //! ```no_run
 //! use genfv_core::{PreparedDesign, run_flow2, FlowConfig};
 //! use genfv_genai::{SyntheticLlm, ModelProfile};
@@ -47,7 +64,7 @@ pub mod parallel;
 pub mod report;
 pub mod validate;
 
-pub use design::{PreparedDesign, PrepareError, Target};
+pub use design::{PrepareError, PreparedDesign, Target};
 pub use flows::{
     run_baseline, run_combined, run_flow1, run_flow2, FlowConfig, FlowMetrics, FlowReport,
     TargetOutcome, TargetReport,

@@ -1,14 +1,32 @@
-//! Parallel candidate validation.
+//! Parallel candidate validation over sharded incremental sessions.
 //!
-//! Candidate lemmas are independent until acceptance (each is validated
-//! against a clone of the design), so the validation stage parallelises
-//! embarrassingly. This module fans the per-candidate work out over scoped
-//! crossbeam threads — the practical difference on multi-core hosts when a
-//! chatty model emits many candidates per completion.
+//! Candidate lemmas are independent until acceptance, so the validation
+//! stage parallelises embarrassingly. Earlier revisions validated each
+//! candidate on its own design clone — one bit-blast *per candidate per
+//! check*. This version shards the candidates round-robin over the worker
+//! threads and gives **each worker one [`ProofSession`]**: the worker compiles
+//! its whole shard onto a single design clone, bit-blasts once, and
+//! answers every BMC-sanity and induction query for the shard with
+//! assumptions on that persistent solver.
+//!
+//! Sharing one transition system between a shard's candidates is sound for
+//! the same reason Houdini compiles its pool onto one clone: monitor state
+//! is read-only over design signals and feeds nothing back, so one
+//! candidate's monitors cannot influence another's verdict. Outcomes are
+//! identical to the sequential path (validation is deterministic); the
+//! `parallel_matches_sequential` test pins that. The one exception is
+//! `CheckConfig::simple_path`, whose distinct-state constraints quantify
+//! over every register (shard-mates' monitors included) — in that mode
+//! each candidate keeps its own clone.
 
 use crate::design::PreparedDesign;
-use crate::validate::{validate_candidate, Candidate, ValidateConfig, ValidationOutcome};
+use crate::validate::{
+    check_on_session, check_with_rebuild, validate_candidate, Candidate, ValidateConfig,
+    ValidationOutcome,
+};
 use genfv_ir::ExprRef;
+use genfv_mc::{EngineMode, ProofSession, Property, SessionStats};
+use genfv_sva::PropertyCompiler;
 
 /// Validates candidates concurrently; results are index-aligned with the
 /// input. Behaviour is identical to calling
@@ -20,40 +38,117 @@ pub fn validate_parallel(
     candidates: &[Candidate],
     config: &ValidateConfig,
 ) -> Vec<ValidationOutcome> {
-    if candidates.len() <= 1 {
-        return candidates
-            .iter()
-            .map(|c| validate_candidate(design, proven_lemmas, c, config))
-            .collect();
+    validate_parallel_with_stats(design, proven_lemmas, candidates, config).0
+}
+
+/// [`validate_parallel`] plus the aggregated solver-reuse statistics of
+/// the worker sessions (one bit-blast per worker shard).
+pub fn validate_parallel_with_stats(
+    design: &PreparedDesign,
+    proven_lemmas: &[ExprRef],
+    candidates: &[Candidate],
+    config: &ValidateConfig,
+) -> (Vec<ValidationOutcome>, SessionStats) {
+    if candidates.is_empty() {
+        return (Vec::new(), SessionStats::default());
     }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(candidates.len());
+    if candidates.len() == 1 {
+        // No thread spawn for a single candidate, but the same shard path
+        // so session statistics stay consistent with the multi-candidate
+        // case.
+        let (results, stats) = shard_worker(design, proven_lemmas, candidates, config, 0, 1);
+        return (results.into_iter().map(|(_, o)| o).collect(), stats);
+    }
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(candidates.len());
 
-    let mut outcomes: Vec<Option<ValidationOutcome>> = vec![None; candidates.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<ValidationOutcome>>> =
-        (0..candidates.len()).map(|_| std::sync::Mutex::new(None)).collect();
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= candidates.len() {
-                    break;
-                }
-                let out = validate_candidate(design, proven_lemmas, &candidates[i], config);
-                *slots[i].lock().expect("slot lock") = Some(out);
-            });
+    let mut results: Vec<(usize, ValidationOutcome)> = Vec::with_capacity(candidates.len());
+    let mut stats = SessionStats::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            handles.push(scope.spawn(move || {
+                shard_worker(design, proven_lemmas, candidates, config, w, workers)
+            }));
         }
-    })
-    .expect("validation worker panicked");
+        for handle in handles {
+            let (shard_results, shard_stats) = handle.join().expect("validation worker panicked");
+            results.extend(shard_results);
+            stats.absorb(&shard_stats);
+        }
+    });
 
-    for (i, slot) in slots.into_iter().enumerate() {
-        outcomes[i] = slot.into_inner().expect("slot lock");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(results.len(), candidates.len());
+    (results.into_iter().map(|(_, o)| o).collect(), stats)
+}
+
+/// Validates every `worker`-th candidate on one design clone and one
+/// session.
+fn shard_worker(
+    design: &PreparedDesign,
+    proven_lemmas: &[ExprRef],
+    candidates: &[Candidate],
+    config: &ValidateConfig,
+    worker: usize,
+    workers: usize,
+) -> (Vec<(usize, ValidationOutcome)>, SessionStats) {
+    let shard: Vec<(usize, &Candidate)> =
+        candidates.iter().enumerate().skip(worker).step_by(workers).collect();
+
+    if config.check.simple_path {
+        // Simple-path constraints quantify over *every* state register, so
+        // a shard-shared clone (carrying shard-mates' monitor state) would
+        // weaken them relative to the sequential per-candidate clone and
+        // verdicts could depend on shard composition. Keep one clone per
+        // candidate in that mode.
+        let out = shard
+            .iter()
+            .map(|&(i, c)| (i, validate_candidate(design, proven_lemmas, c, config)))
+            .collect();
+        return (out, SessionStats::default());
     }
-    outcomes.into_iter().map(|o| o.expect("every slot filled")).collect()
+
+    // Compile the whole shard first: the session's frames bind whatever
+    // monitor state exists when it is created.
+    let mut ctx = design.ctx.clone();
+    let mut ts = design.ts.clone();
+    let mut compiled: Vec<(usize, Result<Property, String>)> = Vec::with_capacity(shard.len());
+    {
+        let mut pc = PropertyCompiler::new(&mut ctx, &mut ts);
+        for (i, cand) in &shard {
+            let res = pc
+                .compile(&cand.assertion)
+                .map(|c| Property::new(cand.name.clone(), c.ok))
+                .map_err(|e| e.to_string());
+            compiled.push((*i, res));
+        }
+    }
+
+    if config.engine == EngineMode::RebuildPerQuery {
+        // Reference architecture: fresh engines per logical check.
+        let mut out = Vec::with_capacity(compiled.len());
+        for (i, res) in compiled {
+            let outcome = match res {
+                Err(e) => ValidationOutcome::CompileRejected(e),
+                Ok(prop) => check_with_rebuild(&ctx, &ts, &prop, proven_lemmas, config),
+            };
+            out.push((i, outcome));
+        }
+        return (out, SessionStats::default());
+    }
+
+    let mut session = ProofSession::new(&ctx, &ts, config.check.clone());
+    session.add_lemmas(proven_lemmas);
+    let mut out = Vec::with_capacity(compiled.len());
+    for (i, res) in compiled {
+        let outcome = match res {
+            Err(e) => ValidationOutcome::CompileRejected(e),
+            Ok(prop) => check_on_session(&mut session, &prop, config),
+        };
+        out.push((i, outcome));
+    }
+    (out, *session.stats())
 }
 
 #[cfg(test)]
@@ -96,10 +191,8 @@ endmodule
         ];
         let config = ValidateConfig::default();
         let par = validate_parallel(&design, &[], &candidates, &config);
-        let seq: Vec<ValidationOutcome> = candidates
-            .iter()
-            .map(|c| validate_candidate(&design, &[], c, &config))
-            .collect();
+        let seq: Vec<ValidationOutcome> =
+            candidates.iter().map(|c| validate_candidate(&design, &[], c, &config)).collect();
         assert_eq!(par, seq);
     }
 
@@ -112,5 +205,25 @@ endmodule
         let out = validate_parallel(&design, &[], &one, &config);
         assert_eq!(out.len(), 1);
         assert!(out[0].is_proven());
+    }
+
+    #[test]
+    fn shards_bitblast_once_each() {
+        let design = PreparedDesign::new("sync", SYNC, "spec", &[]).unwrap();
+        let config = ValidateConfig::default();
+        let candidates = vec![
+            cand("count1 == count2"),
+            cand("count2 == count1"),
+            cand("count1 <= count2"),
+            cand("count2 <= count1"),
+        ];
+        let (outcomes, stats) = validate_parallel_with_stats(&design, &[], &candidates, &config);
+        assert_eq!(outcomes.len(), 4);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(candidates.len());
+        assert_eq!(stats.bitblasts as usize, workers, "one bit-blast per shard");
+        assert!(stats.rebuilds_avoided > 0, "shards answered repeat queries in place");
     }
 }

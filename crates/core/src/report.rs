@@ -50,6 +50,32 @@ pub fn render_report(report: &FlowReport) -> String {
         m.proof_time,
         m.total_time,
     );
+    out.push_str(&render_solver_reuse(report));
+    out
+}
+
+/// Renders the incremental-session reuse line: how many sessions
+/// (bit-blasts) served how many queries, and what the persistent solvers
+/// retained. The interesting ratio is `solver_calls : bitblasts` — the
+/// rebuild-per-query architecture this replaced sat at 1:1 by definition.
+pub fn render_solver_reuse(report: &FlowReport) -> String {
+    let s = &report.metrics.solver;
+    let mut out = String::new();
+    if s.solver_calls == 0 {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "solver  : sessions(bitblasts)={} queries={} rebuilds_avoided={} \
+         clauses_retained={} selectors={}({} retired) conflicts={}",
+        s.bitblasts,
+        s.solver_calls,
+        s.rebuilds_avoided,
+        s.clauses_retained,
+        s.selectors_created,
+        s.selectors_retired,
+        s.conflicts,
+    );
     out
 }
 

@@ -17,8 +17,11 @@
 //! no residue (monitor registers) in the real transition system.
 
 use crate::design::PreparedDesign;
-use genfv_ir::ExprRef;
-use genfv_mc::{bmc, BmcResult, CheckConfig, KInduction, Property, ProveResult};
+use genfv_ir::{Context, ExprRef, TransitionSystem};
+use genfv_mc::{
+    bmc_rebuild, prove_rebuild, BmcResult, CheckConfig, EngineMode, ProofSession, Property,
+    ProveResult,
+};
 use genfv_sva::{Assertion, PropertyCompiler};
 
 /// Why (or how) a candidate survived or died.
@@ -80,6 +83,11 @@ pub struct ValidateConfig {
     pub bmc_depth: usize,
     /// Induction settings for candidate proofs.
     pub check: CheckConfig,
+    /// Which engine architecture answers the queries. The default
+    /// ([`EngineMode::Incremental`]) runs every check on persistent
+    /// [`ProofSession`]s; [`EngineMode::RebuildPerQuery`] is the reference
+    /// architecture kept for differential testing and benchmarking.
+    pub engine: EngineMode,
 }
 
 impl Default for ValidateConfig {
@@ -87,6 +95,7 @@ impl Default for ValidateConfig {
         ValidateConfig {
             bmc_depth: 10,
             check: CheckConfig { max_k: 4, ..Default::default() },
+            engine: EngineMode::Incremental,
         }
     }
 }
@@ -96,6 +105,10 @@ impl Default for ValidateConfig {
 /// `proven_lemmas` (expressions over the design context) are assumed
 /// during both the BMC sanity check and the induction attempt — sound,
 /// since they are already proven invariants.
+///
+/// The BMC sanity check and the induction attempt share one incremental
+/// [`ProofSession`]: the design is bit-blasted once per candidate (it used to
+/// be three times — BMC, base unroller, step unroller).
 pub fn validate_candidate(
     design: &PreparedDesign,
     proven_lemmas: &[ExprRef],
@@ -113,16 +126,63 @@ pub fn validate_candidate(
         }
     };
     let prop = Property::new(candidate.name.clone(), compiled.ok);
+    if config.engine == EngineMode::RebuildPerQuery {
+        return check_with_rebuild(&ctx, &ts, &prop, proven_lemmas, config);
+    }
+    let mut session = ProofSession::new(&ctx, &ts, config.check.clone());
+    session.add_lemmas(proven_lemmas);
+    check_on_session(&mut session, &prop, config)
+}
 
-    // BMC sanity: reachable violation ⇒ the candidate is false.
-    match bmc(&ctx, &ts, &prop, proven_lemmas, config.bmc_depth, &config.check) {
+/// The validation gauntlet steps 3 and 4 (BMC sanity, then induction) on
+/// an existing session whose design already contains the compiled
+/// property. Shared by [`validate_candidate`] and the sharded parallel
+/// validator.
+pub(crate) fn check_on_session(
+    session: &mut ProofSession<'_>,
+    prop: &Property,
+    config: &ValidateConfig,
+) -> ValidationOutcome {
+    // BMC sanity: reachable violation ⇒ the candidate is false. The
+    // trace-free reachability form suffices (validation only reports the
+    // cycle), and its UNSAT answers are cached by the session so the
+    // induction attempt's base cases are already discharged.
+    if let Some(at) = session.first_violation(prop.ok, config.bmc_depth) {
+        return ValidationOutcome::FalseByBmc { at };
+    }
+    induction_on_session(session, prop, config)
+}
+
+/// Gauntlet step 4 alone — the induction attempt with prior lemmas
+/// assumed, for callers that already ran the (batched) BMC sanity sweep.
+pub(crate) fn induction_on_session(
+    session: &mut ProofSession<'_>,
+    prop: &Property,
+    _config: &ValidateConfig,
+) -> ValidationOutcome {
+    match session.prove(prop) {
+        ProveResult::Proven { k, .. } => ValidationOutcome::ProvenInductive { k },
+        ProveResult::Falsified { at, .. } => ValidationOutcome::FalseByBmc { at },
+        ProveResult::StepFailure { .. } => ValidationOutcome::NotInductiveAlone,
+        ProveResult::Unknown { reason, .. } => ValidationOutcome::Unknown(reason),
+    }
+}
+
+/// The same gauntlet on the rebuild-per-query reference engine (fresh
+/// unrollers and solvers per check). Differential-testing twin of
+/// [`check_on_session`].
+pub(crate) fn check_with_rebuild(
+    ctx: &Context,
+    ts: &TransitionSystem,
+    prop: &Property,
+    proven_lemmas: &[ExprRef],
+    config: &ValidateConfig,
+) -> ValidationOutcome {
+    match bmc_rebuild(ctx, ts, prop, proven_lemmas, config.bmc_depth, &config.check) {
         BmcResult::Falsified { at, .. } => return ValidationOutcome::FalseByBmc { at },
         BmcResult::Clean { .. } => {}
     }
-
-    // Induction attempt with prior lemmas assumed.
-    let prover = KInduction::new(&ctx, &ts, config.check.clone());
-    match prover.prove(&prop, proven_lemmas) {
+    match prove_rebuild(ctx, ts, prop, proven_lemmas, &config.check) {
         ProveResult::Proven { k, .. } => ValidationOutcome::ProvenInductive { k },
         ProveResult::Falsified { at, .. } => ValidationOutcome::FalseByBmc { at },
         ProveResult::StepFailure { .. } => ValidationOutcome::NotInductiveAlone,
@@ -136,10 +196,7 @@ pub fn validate_candidate(
 /// # Errors
 /// Returns the compiler error message if compilation unexpectedly fails
 /// (it succeeded on the clone, so this indicates a bug).
-pub fn install_lemma(
-    design: &mut PreparedDesign,
-    candidate: &Candidate,
-) -> Result<Lemma, String> {
+pub fn install_lemma(design: &mut PreparedDesign, candidate: &Candidate) -> Result<Lemma, String> {
     let mut pc = PropertyCompiler::new(&mut design.ctx, &mut design.ts);
     let compiled = pc.compile(&candidate.assertion).map_err(|e| e.to_string())?;
     Ok(Lemma { name: candidate.name.clone(), text: candidate.text.clone(), expr: compiled.ok })
@@ -179,20 +236,15 @@ endmodule
     #[test]
     fn good_lemma_proves() {
         let d = design();
-        let out =
-            validate_candidate(&d, &[], &candidate("count1 == count2"), &Default::default());
+        let out = validate_candidate(&d, &[], &candidate("count1 == count2"), &Default::default());
         assert_eq!(out, ValidationOutcome::ProvenInductive { k: 1 });
     }
 
     #[test]
     fn phantom_signal_compile_rejected() {
         let d = design();
-        let out = validate_candidate(
-            &d,
-            &[],
-            &candidate("count1 == count2_reg"),
-            &Default::default(),
-        );
+        let out =
+            validate_candidate(&d, &[], &candidate("count1 == count2_reg"), &Default::default());
         assert!(matches!(out, ValidationOutcome::CompileRejected(_)), "{out:?}");
     }
 
@@ -200,8 +252,7 @@ endmodule
     fn false_candidate_caught_by_bmc() {
         let d = design();
         // count1 != count2 is false from reset (both zero).
-        let out =
-            validate_candidate(&d, &[], &candidate("count1 != count2"), &Default::default());
+        let out = validate_candidate(&d, &[], &candidate("count1 != count2"), &Default::default());
         assert_eq!(out, ValidationOutcome::FalseByBmc { at: 0 });
     }
 
@@ -217,12 +268,8 @@ endmodule
     fn true_but_not_inductive_is_parked() {
         let d = design();
         // The paper's target: true, passes BMC, fails induction alone.
-        let out = validate_candidate(
-            &d,
-            &[],
-            &candidate("&count1 |-> &count2"),
-            &Default::default(),
-        );
+        let out =
+            validate_candidate(&d, &[], &candidate("&count1 |-> &count2"), &Default::default());
         assert_eq!(out, ValidationOutcome::NotInductiveAlone);
     }
 

@@ -55,10 +55,7 @@ fn combined_falls_back_to_repair_loop() {
         if !report.all_proven() {
             // Soundness: whatever was accepted must be consistent — the
             // target staying open is allowed for a weak model.
-            assert!(matches!(
-                report.targets[0].outcome,
-                TargetOutcome::StillUnproven { .. }
-            ));
+            assert!(matches!(report.targets[0].outcome, TargetOutcome::StillUnproven { .. }));
         }
     }
 }

@@ -2,9 +2,7 @@
 //! loop: prompt rendering, completion parsing, candidate validation, lemma
 //! installation, and target proofs.
 
-use genfv_core::{
-    run_baseline, run_flow1, run_flow2, FlowConfig, PreparedDesign, TargetOutcome,
-};
+use genfv_core::{run_baseline, run_flow1, run_flow2, FlowConfig, PreparedDesign, TargetOutcome};
 use genfv_genai::{ModelProfile, SyntheticLlm};
 
 const SYNC_COUNTERS: &str = r#"

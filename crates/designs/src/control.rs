@@ -32,10 +32,7 @@ endmodule
                moves it from the sender pool to the receiver pool and giving one moves it \
                back, so the two pools always sum to exactly eight and neither can exceed \
                eight.",
-        targets: vec![(
-            "sender_bounded".to_string(),
-            "snd <= 8'd8".to_string(),
-        )],
+        targets: vec![("sender_bounded".to_string(), "snd <= 8'd8".to_string())],
         expectation: Expectation::NeedsLemmas,
     }
 }
@@ -101,10 +98,7 @@ endmodule
                 "euclidean_identity".to_string(),
                 "den_q != 6'd0 |-> (q * den_q + r) == num_q".to_string(),
             ),
-            (
-                "remainder_bounded".to_string(),
-                "den_q != 6'd0 |-> r < den_q".to_string(),
-            ),
+            ("remainder_bounded".to_string(), "den_q != 6'd0 |-> r < den_q".to_string()),
         ],
         expectation: Expectation::ProvesUnaided,
     }
@@ -134,10 +128,7 @@ endmodule
         spec: "A two-master arbiter that alternates a token between masters every cycle; \
                a master is granted only while it owns the token, so the two grants are \
                never asserted together.",
-        targets: vec![(
-            "mutual_exclusion".to_string(),
-            "!(gnt_a && gnt_b)".to_string(),
-        )],
+        targets: vec![("mutual_exclusion".to_string(), "!(gnt_a && gnt_b)".to_string())],
         expectation: Expectation::ProvesUnaided,
     }
 }

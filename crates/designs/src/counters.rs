@@ -24,10 +24,7 @@ endmodule
         spec: "Two synchronized 32-bit counters. Both reset to zero and increment together \
                every cycle, so their values are always equal; in particular, whenever count1 \
                is all ones, count2 must be all ones as well.",
-        targets: vec![(
-            "equal_count".to_string(),
-            "&count1 |-> &count2".to_string(),
-        )],
+        targets: vec![("equal_count".to_string(), "&count1 |-> &count2".to_string())],
         expectation: Expectation::NeedsLemmas,
     }
 }
@@ -50,10 +47,7 @@ module sync_counters_16 (input clk, rst, output logic [15:0] count1, count2);
 endmodule
 "#,
         spec: "Two synchronized 16-bit counters incrementing in lockstep from a common reset.",
-        targets: vec![(
-            "equal_count".to_string(),
-            "&count1 |-> &count2".to_string(),
-        )],
+        targets: vec![("equal_count".to_string(), "&count1 |-> &count2".to_string())],
         expectation: Expectation::NeedsLemmas,
     }
 }
@@ -104,10 +98,7 @@ endmodule
 "#,
         spec: "A decade counter: counts 0 through 9 and wraps back to 0. The value never \
                reaches 10 or beyond.",
-        targets: vec![(
-            "never_fifteen".to_string(),
-            "cnt != 8'd15".to_string(),
-        )],
+        targets: vec![("never_fifteen".to_string(), "cnt != 8'd15".to_string())],
         expectation: Expectation::NeedsLemmas,
     }
 }
@@ -127,10 +118,7 @@ endmodule
 "#,
         spec: "A level meter initialised to 100 that moves up or down by one inside the \
                saturation bounds 0 and 200; it can never exceed 200.",
-        targets: vec![(
-            "bounded_above".to_string(),
-            "level <= 8'd200".to_string(),
-        )],
+        targets: vec![("bounded_above".to_string(), "level <= 8'd200".to_string())],
         expectation: Expectation::ProvesUnaided,
     }
 }

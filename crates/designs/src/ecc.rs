@@ -99,10 +99,7 @@ endmodule
                channel may flip at most one codeword bit per word (err_pos = 0 means no \
                error), and the decoder corrects using the syndrome. The decoded nibble \
                always equals the original data word travelling alongside in data_q/data_qq.",
-        targets: vec![(
-            "corrects_single_error".to_string(),
-            "dec_out == data_qq".to_string(),
-        )],
+        targets: vec![("corrects_single_error".to_string(), "dec_out == data_qq".to_string())],
         // Feed-forward pipeline: k=2 closes unaided; the functional lemma
         // `code_q == enc(data_q)` closes it at k=1.
         expectation: Expectation::ProvesUnaided,
@@ -250,10 +247,7 @@ endmodule
                possibly hit by one new bit error every cycle (scrubbing). The decoded \
                value always equals the plain counter, so when the plain counter is all \
                ones the decoded value is all ones too.",
-        targets: vec![(
-            "lockstep_with_ecc".to_string(),
-            "&count |-> &dec_out".to_string(),
-        )],
+        targets: vec![("lockstep_with_ecc".to_string(), "&count |-> &dec_out".to_string())],
         expectation: Expectation::NeedsLemmas,
     }
 }

@@ -34,10 +34,7 @@ endmodule
                accepted operations and count tracks the occupancy, so the pointer \
                difference always equals count and the FIFO never overflows or underflows.",
         targets: vec![
-            (
-                "no_overflow".to_string(),
-                "count <= 8'd16".to_string(),
-            ),
+            ("no_overflow".to_string(), "count <= 8'd16".to_string()),
             (
                 "pointers_meet_only_when_empty".to_string(),
                 // Needs the lemma (wptr - rptr) == count (and the bound).

@@ -57,10 +57,10 @@ fn expectations_hold_under_plain_induction() {
             }
             Expectation::NeedsLemmas => {
                 assert!(
-                    report.targets.iter().any(|t| matches!(
-                        t.outcome,
-                        TargetOutcome::StillUnproven { .. }
-                    )),
+                    report
+                        .targets
+                        .iter()
+                        .any(|t| matches!(t.outcome, TargetOutcome::StillUnproven { .. })),
                     "{} should have a step failure:\n{}",
                     d.name,
                     genfv_core::summarize_targets(&report)

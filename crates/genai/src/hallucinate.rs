@@ -51,7 +51,7 @@ pub fn corrupt(text: &str, kind: Corruption, rng: &mut SmallRng) -> String {
                     if ident.starts_with('$') || ident == "property" || ident == "endproperty" {
                         out.push_str(ident);
                     } else {
-                        let suffix = ["_reg", "_q", "_int", "_sig"][rng.gen_range(0..4)];
+                        let suffix = ["_reg", "_q", "_int", "_sig"][rng.gen_range(0..4usize)];
                         out.push_str(ident);
                         out.push_str(suffix);
                         done = true;
@@ -72,12 +72,7 @@ pub fn corrupt(text: &str, kind: Corruption, rng: &mut SmallRng) -> String {
                     .unwrap_or(text.len());
                 if let Ok(v) = text[digits_start..digits_end].parse::<u64>() {
                     let bumped = if rng.gen_bool(0.5) { v + 1 } else { v.saturating_sub(1) };
-                    return format!(
-                        "{}{}{}",
-                        &text[..digits_start],
-                        bumped,
-                        &text[digits_end..]
-                    );
+                    return format!("{}{}{}", &text[..digits_start], bumped, &text[digits_end..]);
                 }
             }
             text.to_string()
@@ -119,8 +114,7 @@ pub fn pick_corruption(
         return Some(Corruption::SyntaxError);
     }
     if r < syntax_error_rate + hallucination_rate {
-        let kinds =
-            [Corruption::PhantomSignal, Corruption::OffByOne, Corruption::FlippedOperator];
+        let kinds = [Corruption::PhantomSignal, Corruption::OffByOne, Corruption::FlippedOperator];
         return Some(kinds[rng.gen_range(0..kinds.len())]);
     }
     None
@@ -157,10 +151,7 @@ mod tests {
 
     #[test]
     fn flipped_operator() {
-        assert_eq!(
-            corrupt("a == b", Corruption::FlippedOperator, &mut rng()),
-            "a != b"
-        );
+        assert_eq!(corrupt("a == b", Corruption::FlippedOperator, &mut rng()), "a != b");
         assert_eq!(corrupt("a <= b", Corruption::FlippedOperator, &mut rng()), "a < b");
     }
 

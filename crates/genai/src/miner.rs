@@ -226,11 +226,7 @@ fn random_value(rng: &mut SmallRng, width: u32) -> BitVecValue {
 }
 
 /// Builds the CEX environment from rendered final-cycle values.
-fn cex_env(
-    ctx: &Context,
-    ts: &TransitionSystem,
-    values: &BTreeMap<String, String>,
-) -> Option<Env> {
+fn cex_env(ctx: &Context, ts: &TransitionSystem, values: &BTreeMap<String, String>) -> Option<Env> {
     if values.is_empty() {
         return None;
     }
@@ -273,9 +269,7 @@ impl Miner<'_> {
             .states()
             .iter()
             .map(|s| s.symbol)
-            .filter(|&s| {
-                self.ctx.symbol_name(s).map(|n| !n.starts_with("__sva_")).unwrap_or(false)
-            })
+            .filter(|&s| self.ctx.symbol_name(s).map(|n| !n.starts_with("__sva_")).unwrap_or(false))
             .collect()
     }
 
@@ -324,7 +318,10 @@ impl Miner<'_> {
             .as_deref()
             .map(|s| {
                 let s = s.to_lowercase();
-                s.contains("equal") || s.contains("lockstep") || s.contains("same") || s.contains("synchron")
+                s.contains("equal")
+                    || s.contains("lockstep")
+                    || s.contains("same")
+                    || s.contains("synchron")
             })
             .unwrap_or(false);
 
@@ -451,9 +448,7 @@ impl Miner<'_> {
                 }
 
                 // Directional families: evaluate with both operand orders.
-                for (x, y, name_x, name_y) in
-                    [(a, b, &name_a, &name_b), (b, a, &name_b, &name_a)]
-                {
+                for (x, y, name_x, name_y) in [(a, b, &name_a, &name_b), (b, a, &name_b, &name_a)] {
                     // Difference tracked by a third register (`count ==
                     // wptr - rptr` in FIFOs). Modular subtraction makes
                     // this exact even across pointer wrap.
@@ -494,12 +489,7 @@ impl Miner<'_> {
                     };
                     for (rhs, rhs_text) in transforms {
                         let inv = self.ctx.eq(x, rhs);
-                        self.push(
-                            inv,
-                            format!("{name_x} == {rhs_text}"),
-                            Family::Functional,
-                            1.9,
-                        );
+                        self.push(inv, format!("{name_x} == {rhs_text}"), Family::Functional, 1.9);
                     }
                 }
 

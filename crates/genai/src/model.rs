@@ -276,8 +276,7 @@ impl LanguageModel for SyntheticLlm {
         let prompt_tokens = prompt.token_estimate();
         let completion_tokens = text.len().div_ceil(4);
         let params = self.params();
-        let latency =
-            Duration::from_secs_f64(completion_tokens as f64 / params.tokens_per_second);
+        let latency = Duration::from_secs_f64(completion_tokens as f64 / params.tokens_per_second);
         Completion { text, prompt_tokens, completion_tokens, latency }
     }
 }
@@ -308,10 +307,7 @@ endmodule
         let assertions = parse_assertions(&completion.text);
         assert!(!assertions.is_empty());
         // The paper's helper must be among them for the strong profile.
-        let texts: Vec<String> = assertions
-            .iter()
-            .filter_map(|a| a.name.clone())
-            .collect();
+        let texts: Vec<String> = assertions.iter().filter_map(|a| a.name.clone()).collect();
         assert!(texts.iter().any(|t| t.starts_with("genai_")), "{texts:?}");
         assert!(completion.completion_tokens > 10);
         assert!(completion.prompt_tokens > 50);
@@ -342,10 +338,7 @@ endmodule
         };
         let gpt = count_valid(ModelProfile::GptFourTurbo);
         let llama = count_valid(ModelProfile::LlamaThree);
-        assert!(
-            gpt > llama,
-            "gpt parseable assertions ({gpt}) must exceed llama ({llama})"
-        );
+        assert!(gpt > llama, "gpt parseable assertions ({gpt}) must exceed llama ({llama})");
     }
 
     #[test]

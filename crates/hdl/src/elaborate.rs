@@ -238,9 +238,7 @@ impl<'a> Elaborator<'a> {
         let items = self.module.items.clone();
         for item in &items {
             if let Item::Param { name, value, pos } = item {
-                let v = self
-                    .const_eval(value, None)
-                    .map_err(|e| ElabError::at(*pos, e.message))?;
+                let v = self.const_eval(value, None).map_err(|e| ElabError::at(*pos, e.message))?;
                 self.params.insert(name.clone(), v);
             }
         }
@@ -293,9 +291,8 @@ impl<'a> Elaborator<'a> {
     fn collect_decls(&mut self) -> Result<(), ElabError> {
         let ports = self.module.ports.clone();
         for port in &ports {
-            let w = self
-                .range_width(&port.range)
-                .map_err(|e| ElabError::at(port.pos, e.message))?;
+            let w =
+                self.range_width(&port.range).map_err(|e| ElabError::at(port.pos, e.message))?;
             self.widths.insert(port.name.clone(), w);
         }
         let items = self.module.items.clone();
@@ -430,6 +427,9 @@ impl<'a> Elaborator<'a> {
         Ok(touched)
     }
 
+    // `pos` threads the source position down for future diagnostics even
+    // though only recursive calls consume it today.
+    #[allow(clippy::only_used_in_recursion)]
     fn exec_clocked_inner(
         &mut self,
         stmt: &Stmt,
@@ -522,11 +522,7 @@ impl<'a> Elaborator<'a> {
     /// Executes an `always_comb` body with blocking semantics: reads see
     /// previous writes from the same block. Every target must be assigned
     /// on every path (no latches).
-    fn exec_comb(
-        &mut self,
-        stmt: &Stmt,
-        pos: Pos,
-    ) -> Result<Vec<(String, ExprRef)>, ElabError> {
+    fn exec_comb(&mut self, stmt: &Stmt, pos: Pos) -> Result<Vec<(String, ExprRef)>, ElabError> {
         let mut env: HashMap<String, Option<ExprRef>> = HashMap::new();
         let mut targets = Vec::new();
         collect_blocking_targets(stmt, &mut targets);
@@ -551,6 +547,8 @@ impl<'a> Elaborator<'a> {
         Ok(out)
     }
 
+    // Same as `exec_clocked_inner`: `pos` is diagnostic plumbing.
+    #[allow(clippy::only_used_in_recursion)]
     fn exec_comb_inner(
         &mut self,
         stmt: &Stmt,
@@ -582,9 +580,7 @@ impl<'a> Elaborator<'a> {
                 }
                 for (k, v) in env.iter_mut() {
                     *v = match (then_env[k], else_env[k]) {
-                        (Some(t), Some(f)) => {
-                            Some(if t == f { t } else { self.ctx.ite(c, t, f) })
-                        }
+                        (Some(t), Some(f)) => Some(if t == f { t } else { self.ctx.ite(c, t, f) }),
                         _ => None,
                     };
                 }
@@ -680,6 +676,9 @@ impl<'a> Elaborator<'a> {
         }
     }
 
+    // `to_bool` converts the expression, not `self` — the builder context
+    // just has to be mutable to hash-cons the reduction node.
+    #[allow(clippy::wrong_self_convention)]
     fn to_bool(&mut self, e: ExprRef) -> ExprRef {
         if self.ctx.width_of(e) == 1 {
             e

@@ -145,9 +145,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         if c.is_ascii_alphabetic() || c == '_' || c == '$' {
             let start = i;
             advance(&mut i, &mut line, &mut col, &chars);
-            while i < chars.len()
-                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-            {
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                 advance(&mut i, &mut line, &mut col, &chars);
             }
             let text: String = chars[start..i].iter().collect();
@@ -172,7 +170,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         message: format!("bad size prefix `{text}`"),
                     })?);
                 } else {
-                    out.push(Token { tok: Tok::Number { size: None, base: 'i', digits: text }, pos });
+                    out.push(Token {
+                        tok: Tok::Number { size: None, base: 'i', digits: text },
+                        pos,
+                    });
                     continue;
                 }
             }
@@ -302,12 +303,7 @@ mod tests {
         let toks = kinds("a // line comment\nb /* block\ncomment */ c");
         assert_eq!(
             toks,
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Ident("b".into()),
-                Tok::Ident("c".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
         );
     }
 

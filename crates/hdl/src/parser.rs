@@ -329,11 +329,8 @@ impl Parser {
             let cond = self.parse_expr()?;
             self.expect_punct(")")?;
             let then_branch = Box::new(self.parse_stmt()?);
-            let else_branch = if self.eat_kw("else") {
-                Some(Box::new(self.parse_stmt()?))
-            } else {
-                None
-            };
+            let else_branch =
+                if self.eat_kw("else") { Some(Box::new(self.parse_stmt()?)) } else { None };
             return Ok(Stmt::If { cond, then_branch, else_branch });
         }
         if self.eat_kw("case") || self.eat_kw("unique") && self.eat_kw("case") {
@@ -681,7 +678,10 @@ endmodule
         let m = &mods[0];
         assert_eq!(m.header_params.len(), 1);
         assert!(m.items.iter().any(|i| matches!(i, Item::Param { name, .. } if name == "MAX")));
-        assert!(m.items.iter().any(|i| matches!(i, Item::Assign { target, .. } if target == "next_cnt")));
+        assert!(m
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Assign { target, .. } if target == "next_cnt")));
     }
 
     #[test]
@@ -728,11 +728,7 @@ module comb (input [3:0] a, b, output logic [3:0] y, z);
 endmodule
 "#;
         let mods = parse_source(src).unwrap();
-        let combs = mods[0]
-            .items
-            .iter()
-            .filter(|i| matches!(i, Item::AlwaysComb { .. }))
-            .count();
+        let combs = mods[0].items.iter().filter(|i| matches!(i, Item::AlwaysComb { .. })).count();
         assert_eq!(combs, 2);
     }
 

@@ -130,9 +130,7 @@ impl BitBlaster {
             return lits.clone();
         }
         let lits: Vec<Lit> = match ctx.expr(e) {
-            Expr::Const(v) => {
-                (0..v.width()).map(|i| self.builder.constant(v.bit(i))).collect()
-            }
+            Expr::Const(v) => (0..v.width()).map(|i| self.builder.constant(v.bit(i))).collect(),
             Expr::Symbol { width, .. } => self.fresh_lits(*width),
             Expr::Unary(op, a) => {
                 let la = self.blast(ctx, env, *a);
@@ -459,8 +457,7 @@ mod tests {
         {
             let l = ctx.shl(a, sh);
             let r = ctx.lshr(a, sh);
-            let bindings =
-                [(a, BitVecValue::from_u64(va, 8)), (sh, BitVecValue::from_u64(vs, 8))];
+            let bindings = [(a, BitVecValue::from_u64(va, 8)), (sh, BitVecValue::from_u64(vs, 8))];
             assert_eq!(blast_and_eval(&ctx, &bindings, l).to_u64(), Some(expl & 0xFF));
             assert_eq!(blast_and_eval(&ctx, &bindings, r).to_u64(), Some(expr));
         }

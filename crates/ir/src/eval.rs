@@ -167,8 +167,7 @@ impl<'a> Simulator<'a> {
     /// Advances one clock cycle: every state takes its next-state value,
     /// simultaneously.
     pub fn step(&mut self) {
-        let mut next_vals: Vec<(ExprRef, BitVecValue)> =
-            Vec::with_capacity(self.ts.states().len());
+        let mut next_vals: Vec<(ExprRef, BitVecValue)> = Vec::with_capacity(self.ts.states().len());
         for s in self.ts.states() {
             next_vals.push((s.symbol, evaluate(self.ctx, &self.env, s.next)));
         }

@@ -205,11 +205,7 @@ impl Context {
     /// Panics if `name` already exists with a different width.
     pub fn symbol(&mut self, name: &str, width: u32) -> ExprRef {
         if let Some(&e) = self.symbols.get(name) {
-            assert_eq!(
-                self.width_of(e),
-                width,
-                "symbol `{name}` redeclared with different width"
-            );
+            assert_eq!(self.width_of(e), width, "symbol `{name}` redeclared with different width");
             return e;
         }
         let e = self.intern(Expr::Symbol { name: name.to_string(), width }, width);
@@ -337,7 +333,11 @@ impl Context {
         }
         // Canonical operand order for commutative ops improves sharing.
         let (a, b) = match op {
-            BinaryOp::And | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Add | BinaryOp::Mul
+            BinaryOp::And
+            | BinaryOp::Or
+            | BinaryOp::Xor
+            | BinaryOp::Add
+            | BinaryOp::Mul
             | BinaryOp::Eq
                 if b < a =>
             {
@@ -714,7 +714,12 @@ impl Context {
                 format!("({sa} {sym} {sb})")
             }
             Expr::Ite { cond, tru, fls } => {
-                format!("({} ? {} : {})", self.display(*cond), self.display(*tru), self.display(*fls))
+                format!(
+                    "({} ? {} : {})",
+                    self.display(*cond),
+                    self.display(*tru),
+                    self.display(*fls)
+                )
             }
             Expr::Extract { value, hi, lo } => {
                 if hi == lo {

@@ -60,10 +60,7 @@ impl TransitionSystem {
 
     /// Registers a state with optional init and a next-state function.
     pub fn add_state(&mut self, symbol: ExprRef, init: Option<ExprRef>, next: ExprRef) {
-        debug_assert!(
-            !self.states.iter().any(|s| s.symbol == symbol),
-            "duplicate state register"
-        );
+        debug_assert!(!self.states.iter().any(|s| s.symbol == symbol), "duplicate state register");
         self.states.push(State { symbol, init, next });
     }
 

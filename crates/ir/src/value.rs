@@ -128,11 +128,8 @@ impl BitVecValue {
     /// Parses a decimal string into a value of the given width (truncating
     /// modulo 2^width as Verilog does).
     pub fn from_decimal_str(s: &str, width: u32) -> Option<Self> {
-        let digits: Vec<u32> = s
-            .chars()
-            .filter(|c| *c != '_')
-            .map(|c| c.to_digit(10))
-            .collect::<Option<Vec<_>>>()?;
+        let digits: Vec<u32> =
+            s.chars().filter(|c| *c != '_').map(|c| c.to_digit(10)).collect::<Option<Vec<_>>>()?;
         if digits.is_empty() {
             return None;
         }
@@ -733,7 +730,10 @@ mod tests {
         assert_eq!(BitVecValue::from_hex_str("ff").unwrap().width(), 8);
         assert_eq!(BitVecValue::from_decimal_str("300", 8).unwrap().to_u64(), Some(300 % 256));
         assert_eq!(
-            BitVecValue::from_decimal_str("18446744073709551617", 128).unwrap().extract(64, 64).to_u64(),
+            BitVecValue::from_decimal_str("18446744073709551617", 128)
+                .unwrap()
+                .extract(64, 64)
+                .to_u64(),
             Some(1)
         );
     }

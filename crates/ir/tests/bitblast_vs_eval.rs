@@ -108,8 +108,20 @@ fn build(ctx: &mut Context, width: u32, ops: &[Op], syms: &[ExprRef]) -> ExprRef
                 let a = stack.pop().unwrap();
                 stack.push(ctx.red_xor(a));
             }
-            Op::And | Op::Or | Op::Xor | Op::Add | Op::Sub | Op::Mul | Op::Udiv | Op::Urem
-            | Op::Eq | Op::Ult | Op::Ule | Op::Slt | Op::Shl | Op::Lshr => {
+            Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Udiv
+            | Op::Urem
+            | Op::Eq
+            | Op::Ult
+            | Op::Ule
+            | Op::Slt
+            | Op::Shl
+            | Op::Lshr => {
                 if stack.len() < 2 {
                     continue;
                 }

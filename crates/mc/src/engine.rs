@@ -6,11 +6,9 @@
 //! support). An inductive-step failure returns the counterexample trace
 //! that Flow 2 renders into the LLM prompt.
 
-use crate::trace::{read_symbol_cycles, Trace, TraceKind};
-use crate::unroll::Unroller;
+use crate::trace::Trace;
 use genfv_ir::{Context, ExprRef, TransitionSystem};
-use genfv_sat::SolveResult;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A property to check: a named 1-bit "ok every cycle" expression
 /// (typically produced by `genfv-sva`).
@@ -148,25 +146,18 @@ impl Default for CheckConfig {
     }
 }
 
-fn snapshot(bb: &genfv_ir::BitBlaster) -> (u64, u64, u64) {
-    let s = bb.solver().stats();
-    (s.conflicts, s.decisions, s.propagations)
-}
-
-fn add_delta(stats: &mut CheckStats, bb: &genfv_ir::BitBlaster, before: (u64, u64, u64)) {
-    let s = bb.solver().stats();
-    stats.conflicts += s.conflicts - before.0;
-    stats.decisions += s.decisions - before.1;
-    stats.propagations += s.propagations - before.2;
-    stats.solver_calls += 1;
-}
-
 /// Bounded model checking of `property` (plus always-assumed `lemmas`) up
 /// to `depth` cycles from reset.
 ///
 /// Lemmas are *assumed* at every cycle — callers must only pass lemmas that
 /// are themselves proven (or are being sanity-checked, as in candidate
 /// validation where a `Falsified` answer is the useful signal).
+///
+/// This is the one-shot convenience form: it builds a throwaway
+/// [`crate::session::ProofSession`] for the single check. Callers with more
+/// than one query per design should hold a session themselves and call
+/// [`crate::session::ProofSession::bmc_check`] so the bit-blast and the learnt
+/// clauses amortise.
 pub fn bmc(
     ctx: &Context,
     ts: &TransitionSystem,
@@ -175,49 +166,9 @@ pub fn bmc(
     depth: usize,
     config: &CheckConfig,
 ) -> BmcResult {
-    let start = Instant::now();
-    let mut stats = CheckStats::default();
-    let mut unroller = Unroller::new(ctx, ts, true);
-    for k in 0..=depth {
-        unroller.ensure_frame(k);
-        for &lemma in lemmas {
-            let l = unroller.lit_at(k, lemma);
-            unroller.blaster_mut().assert_lit(l);
-        }
-        let bad = {
-            let ok = unroller.lit_at(k, property.ok);
-            !ok
-        };
-        if let Some(b) = config.conflict_budget {
-            unroller.blaster_mut().solver_mut().set_conflict_budget(b);
-        }
-        let before = snapshot(unroller.blaster());
-        let res = unroller.blaster_mut().solve_with_assumptions(&[bad]);
-        add_delta(&mut stats, unroller.blaster(), before);
-        match res {
-            SolveResult::Sat => {
-                let cycles =
-                    read_symbol_cycles(ctx, ts, unroller.blaster(), &unroller.frames()[..=k]);
-                let trace = Trace::from_symbol_cycles(
-                    ctx,
-                    ts,
-                    &property.name,
-                    TraceKind::CounterexampleFromReset,
-                    &cycles,
-                );
-                stats.duration = start.elapsed();
-                return BmcResult::Falsified { at: k, trace, stats };
-            }
-            SolveResult::Unsat => {}
-            SolveResult::Unknown => {
-                // Budget exhausted: report what we know (clean so far).
-                stats.duration = start.elapsed();
-                return BmcResult::Clean { depth: k.saturating_sub(1), stats };
-            }
-        }
-    }
-    stats.duration = start.elapsed();
-    BmcResult::Clean { depth, stats }
+    let mut session = crate::session::ProofSession::new(ctx, ts, config.clone());
+    session.add_lemmas(lemmas);
+    session.bmc_check(property, depth)
 }
 
 /// K-induction prover with helper-lemma support.
@@ -243,131 +194,14 @@ impl<'c> KInduction<'c> {
     /// Attempts to prove `property` invariant, assuming `lemmas` (which
     /// must already be proven invariants — see [`bmc`] for the validation
     /// path used by the GenAI flows before lemmas get here).
+    ///
+    /// One-shot convenience over [`crate::session::ProofSession::prove`]; the
+    /// base and step cases share a single persistent solver through the
+    /// session's persistent base and step unrollings.
     pub fn prove(&self, property: &Property, lemmas: &[ExprRef]) -> ProveResult {
-        let start = Instant::now();
-        let mut stats = CheckStats::default();
-
-        let mut base = Unroller::new(self.ctx, self.ts, true);
-        let mut step = Unroller::new(self.ctx, self.ts, false);
-        let mut last_step_cex: Option<(usize, Trace)> = None;
-
-        // Frame 0 of both directions carries the lemmas.
-        base.ensure_frame(0);
-        step.ensure_frame(0);
-        for &lemma in lemmas {
-            let l = base.lit_at(0, lemma);
-            base.blaster_mut().assert_lit(l);
-            let l = step.lit_at(0, lemma);
-            step.blaster_mut().assert_lit(l);
-        }
-
-        for k in 1..=self.config.max_k {
-            // --- base case: no violation in cycles 0..k from reset -------
-            base.ensure_frame(k - 1);
-            for &lemma in lemmas {
-                let l = base.lit_at(k - 1, lemma);
-                base.blaster_mut().assert_lit(l);
-            }
-            let bad_base = {
-                let ok = base.lit_at(k - 1, property.ok);
-                !ok
-            };
-            if let Some(b) = self.config.conflict_budget {
-                base.blaster_mut().solver_mut().set_conflict_budget(b);
-            }
-            let before = snapshot(base.blaster());
-            let res = base.blaster_mut().solve_with_assumptions(&[bad_base]);
-            add_delta(&mut stats, base.blaster(), before);
-            match res {
-                SolveResult::Sat => {
-                    let cycles = read_symbol_cycles(
-                        self.ctx,
-                        self.ts,
-                        base.blaster(),
-                        &base.frames()[..k],
-                    );
-                    let trace = Trace::from_symbol_cycles(
-                        self.ctx,
-                        self.ts,
-                        &property.name,
-                        TraceKind::CounterexampleFromReset,
-                        &cycles,
-                    );
-                    stats.duration = start.elapsed();
-                    return ProveResult::Falsified { at: k - 1, trace, stats };
-                }
-                SolveResult::Unsat => {}
-                SolveResult::Unknown => {
-                    stats.duration = start.elapsed();
-                    return ProveResult::Unknown {
-                        reason: format!("base-case budget exhausted at k={k}"),
-                        stats,
-                    };
-                }
-            }
-
-            // --- step case ------------------------------------------------
-            step.ensure_frame(k);
-            for &lemma in lemmas {
-                let l = step.lit_at(k, lemma);
-                step.blaster_mut().assert_lit(l);
-            }
-            // Property assumed at frames 0..k (asserted permanently — sound
-            // because deeper iterations only extend the window).
-            let ok_prev = step.lit_at(k - 1, property.ok);
-            step.blaster_mut().assert_lit(ok_prev);
-            if self.config.simple_path {
-                step.assert_simple_path(k);
-            }
-            let bad_step = {
-                let ok = step.lit_at(k, property.ok);
-                !ok
-            };
-            if let Some(b) = self.config.conflict_budget {
-                step.blaster_mut().solver_mut().set_conflict_budget(b);
-            }
-            let before = snapshot(step.blaster());
-            let res = step.blaster_mut().solve_with_assumptions(&[bad_step]);
-            add_delta(&mut stats, step.blaster(), before);
-            match res {
-                SolveResult::Unsat => {
-                    stats.duration = start.elapsed();
-                    return ProveResult::Proven { k, stats };
-                }
-                SolveResult::Sat => {
-                    let cycles = read_symbol_cycles(
-                        self.ctx,
-                        self.ts,
-                        step.blaster(),
-                        step.frames(),
-                    );
-                    let trace = Trace::from_symbol_cycles(
-                        self.ctx,
-                        self.ts,
-                        &property.name,
-                        TraceKind::InductionStep,
-                        &cycles,
-                    );
-                    last_step_cex = Some((k, trace));
-                }
-                SolveResult::Unknown => {
-                    stats.duration = start.elapsed();
-                    return ProveResult::Unknown {
-                        reason: format!("step-case budget exhausted at k={k}"),
-                        stats,
-                    };
-                }
-            }
-        }
-
-        stats.duration = start.elapsed();
-        match last_step_cex {
-            Some((k, trace)) => ProveResult::StepFailure { k, trace, stats },
-            None => ProveResult::Unknown {
-                reason: "no induction depth attempted (max_k = 0?)".to_string(),
-                stats,
-            },
-        }
+        let mut session = crate::session::ProofSession::new(self.ctx, self.ts, self.config.clone());
+        session.add_lemmas(lemmas);
+        session.prove(property)
     }
 }
 
@@ -377,15 +211,20 @@ impl KInduction<'_> {
     /// assumed (as an additional lemma) for the later ones — the way
     /// commercial property databases exploit already-closed assertions.
     ///
+    /// The whole batch runs on **one** incremental session: every proof
+    /// reuses the frames and learnt clauses of its predecessors, and each
+    /// newly proven property is installed as a session lemma.
+    ///
     /// Returns one [`ProveResult`] per property, index-aligned. Sound:
     /// only proven properties join the assumption set.
     pub fn prove_all(&self, properties: &[Property], lemmas: &[ExprRef]) -> Vec<ProveResult> {
+        let mut session = crate::session::ProofSession::new(self.ctx, self.ts, self.config.clone());
+        session.add_lemmas(lemmas);
         let mut results = Vec::with_capacity(properties.len());
-        let mut assumed: Vec<ExprRef> = lemmas.to_vec();
         for prop in properties {
-            let res = self.prove(prop, &assumed);
+            let res = session.prove(prop);
             if res.is_proven() {
-                assumed.push(prop.ok);
+                session.add_lemma(prop.ok);
             }
             results.push(res);
         }

@@ -7,6 +7,19 @@
 //!
 //! Key capabilities:
 //!
+//! * **incremental proof sessions** ([`ProofSession`]) — one persistent
+//!   pair of solvers per design (a pinned-reset *base* unrolling whose
+//!   reset constants fold through every frame, and a free-start *step*
+//!   unrolling); environment constraints, lemmas, per-property step
+//!   obligations, and caller hypotheses all hang off activation literals,
+//!   so BMC base cases, induction steps, and Houdini sweeps are answered
+//!   with `solve_with_assumptions` on long-lived clause databases —
+//!   frames and learnt clauses survive across candidates, Houdini
+//!   rounds, and targets, and retracting a hypothesis is one unit clause
+//!   (see [`session`] for the soundness argument);
+//! * **a rebuild-per-query reference engine** ([`rebuild`],
+//!   [`EngineMode`]) — the pre-session architecture preserved verbatim
+//!   for differential testing and the `BENCH_incremental.json` benchmark;
 //! * incremental time-frame expansion with one solver per direction;
 //! * **helper-lemma support** — proven assertions are assumed at every
 //!   frame of the step case, exactly how the paper's generated lemmas
@@ -41,11 +54,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod rebuild;
+pub mod session;
 pub mod trace;
 pub mod unroll;
 pub mod wave;
 
 pub use engine::{bmc, BmcResult, CheckConfig, CheckStats, KInduction, Property, ProveResult};
+pub use rebuild::{bmc_rebuild, prove_all_rebuild, prove_rebuild, EngineMode};
+pub use session::{ProofSession, SessionStats};
 pub use trace::{read_symbol_cycles, Trace, TraceKind, TraceStep};
 pub use unroll::Unroller;
 pub use wave::{render_final_bits, render_waveform, to_vcd};

@@ -1,0 +1,710 @@
+//! Incremental proof sessions: persistent base/step solvers per design.
+//!
+//! The paper's Flow 1/Flow 2 loops spend nearly all their time in repeated
+//! SAT checks over the *same* transition relation: every candidate lemma is
+//! BMC-sanity-checked and induction-checked, every Houdini strengthening
+//! iteration re-queries the step case, and every target proof walks the
+//! same frames again. Rebuilding an [`Unroller`] (a full re-bit-blast plus
+//! a brand-new solver that must re-learn everything) for each of those
+//! queries is the dominant cost.
+//!
+//! A [`ProofSession`] owns **two persistent guarded unrollers** for one
+//! `(Context, TransitionSystem)` pair — a *base* unrolling with the reset
+//! state pinned (so the bit-blaster folds reset constants through every
+//! frame, exactly as a one-shot BMC run would) and a *step* unrolling with
+//! a free initial state — and answers every query with
+//! `solve_with_assumptions` on the matching solver:
+//!
+//! * **frame windows** — environment constraints (and installed lemmas)
+//!   activate per frame through guard literals, so a query over frames
+//!   `0..=k` of a long-lived unrolling is equivalent to a fresh `k`-frame
+//!   unrolling: deeper frames never restrict shallower ones, and frames
+//!   only ever grow;
+//! * **retractable facts** — callers guard step-case hypotheses behind
+//!   *selector literals* ([`ProofSession::new_selector`] /
+//!   [`ProofSession::guard_fact`]); dropping a hypothesis is one unit
+//!   clause ([`ProofSession::retire_selector`]) instead of a rebuild.
+//!   Houdini uses this to deactivate falsified candidates in place;
+//! * **batched obligations** — [`ProofSession::new_violation_witness`]
+//!   builds a literal implying "at least one of these obligations is
+//!   violated", so a whole Houdini sweep is a single solver call whose
+//!   model reveals every falsified candidate at once;
+//! * **proof cores** — after an UNSAT answer,
+//!   [`ProofSession::last_core`] names the assumptions (hypothesis
+//!   selectors included) that actually carried the proof.
+//!
+//! ## Soundness of retraction
+//!
+//! Retiring a selector adds only the unit clause `¬sel`, which satisfies
+//! every clause guarded by that selector without touching any other
+//! clause — in particular without touching the transition relation or the
+//! solver's learnt clauses, which remain sound consequences. The solver
+//! is therefore always equivalent to a fresh solver loaded with only the
+//! still-active hypotheses; see [`genfv_sat::assume`] for the full
+//! argument and the `session_lemma_proptest` suite for the executable
+//! form (random add/retract orders versus fresh sessions).
+//!
+//! All solver reuse is observable through [`SessionStats`]
+//! (`bitblasts`, `rebuilds_avoided`, `clauses_retained`, per-query
+//! conflicts), which the `genfv-core` flow reports surface.
+//!
+//! Compile every property (and candidate monitor) into the
+//! `Context`/`TransitionSystem` **before** creating the session: the frames
+//! bind state symbols as they are built, so later-added monitor state would
+//! unroll unconstrained.
+
+use crate::engine::{BmcResult, CheckConfig, CheckStats, Property, ProveResult};
+use crate::trace::{read_symbol_cycles, Trace, TraceKind};
+use crate::unroll::Unroller;
+use genfv_ir::{Context, ExprRef, TransitionSystem};
+use genfv_sat::{ActivationGroup, Lit, SolveResult};
+use std::time::Instant;
+
+/// Observability for one [`ProofSession`]: how much work the persistent
+/// solvers absorbed that a rebuild-per-query architecture would have
+/// repeated.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Transition-relation loads performed (always 1 per session — the
+    /// base and step directions are each bit-blasted once, however many
+    /// queries follow; a rebuild architecture pays this per check).
+    pub bitblasts: u64,
+    /// Solver queries issued through this session.
+    pub solver_calls: u64,
+    /// Queries after the first: each reused a loaded clause database
+    /// where the rebuild architecture would have re-bit-blasted.
+    pub rebuilds_avoided: u64,
+    /// Live problem clauses across the session's solvers at the most
+    /// recent query — the formula capital carried from query to query.
+    pub clauses_retained: u64,
+    /// Highest frame index unrolled so far (either direction).
+    pub max_frame: usize,
+    /// Selector (activation) literals created.
+    pub selectors_created: u64,
+    /// Selectors permanently deactivated.
+    pub selectors_retired: u64,
+    /// Conflicts of the most recent query.
+    pub last_query_conflicts: u64,
+    /// Assumption-core size of the most recent UNSAT answer.
+    pub last_core_size: u64,
+    /// Total conflicts across all queries.
+    pub conflicts: u64,
+    /// Total decisions across all queries.
+    pub decisions: u64,
+    /// Total propagations across all queries.
+    pub propagations: u64,
+}
+
+impl SessionStats {
+    /// Folds another session's counters into this one (used when several
+    /// sessions serve one logical run, e.g. parallel worker shards or
+    /// lemma-installation rebuilds in the flows).
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.bitblasts += other.bitblasts;
+        self.solver_calls += other.solver_calls;
+        self.rebuilds_avoided += other.rebuilds_avoided;
+        self.clauses_retained = self.clauses_retained.max(other.clauses_retained);
+        self.max_frame = self.max_frame.max(other.max_frame);
+        self.selectors_created += other.selectors_created;
+        self.selectors_retired += other.selectors_retired;
+        if other.solver_calls > 0 {
+            // Only a session that actually queried has a meaningful
+            // "most recent query"; don't clobber with zeros.
+            self.last_query_conflicts = other.last_query_conflicts;
+            self.last_core_size = other.last_core_size;
+        }
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+    }
+}
+
+/// The two persistent proof directions of a session.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// From-reset unrolling (reset values pinned and constant-folded).
+    Base,
+    /// Arbitrary-start unrolling (induction step, Houdini fixpoint).
+    Step,
+}
+
+/// A persistent incremental checker for one design.
+///
+/// See the [module docs](self) for the architecture. The session borrows
+/// the design's `Context` and `TransitionSystem`; everything mutable
+/// (solvers, frames, selectors, lemmas) lives inside.
+#[derive(Debug)]
+pub struct ProofSession<'c> {
+    ctx: &'c Context,
+    ts: &'c TransitionSystem,
+    /// From-reset unrolling: init pinned, constraints frame-guarded.
+    base: Unroller<'c>,
+    /// Arbitrary-start unrolling: free init, constraints frame-guarded.
+    step: Unroller<'c>,
+    config: CheckConfig,
+    /// Installed lemmas, activated at every frame of both directions
+    /// through the frame guards.
+    lemmas: Vec<ExprRef>,
+    /// Base frames `0..lemma_frames_base` have all current lemmas active.
+    lemma_frames_base: usize,
+    /// Step frames `0..lemma_frames_step` have all current lemmas active.
+    lemma_frames_step: usize,
+    /// Deepest from-reset cycle proven violation-free per observable, by
+    /// earlier UNSAT base queries on this session. Lemma installation
+    /// only shrinks the model set, so cached cleanliness stays valid;
+    /// `prove` uses it to skip base cases that `bmc_check` already
+    /// discharged — reuse a rebuild architecture cannot express.
+    clean_upto: std::collections::HashMap<ExprRef, usize>,
+    /// Per-property step-case activation: `sel → ok@frame` for every
+    /// frame `< covered`. Step queries assume the one selector instead of
+    /// `k` separate `ok` literals, so learnt clauses are conditioned on a
+    /// *stable* literal and transfer across induction depths (and across
+    /// the properties of a shared session).
+    step_prop_guards: std::collections::HashMap<ExprRef, (Lit, usize)>,
+    /// Simple-path activation literal (created on first use, step side).
+    sp_guard: Option<Lit>,
+    /// Simple-path pairs exist for all `(i, j)` with `j <= sp_frames`.
+    sp_frames: usize,
+    /// Selector allocator/bookkeeper for the step solver (hypotheses,
+    /// violation witnesses); lives in `genfv-sat`.
+    selectors: ActivationGroup,
+    stats: SessionStats,
+}
+
+impl<'c> ProofSession<'c> {
+    /// Creates a session: the one (per-direction) bit-blast this design
+    /// will get.
+    pub fn new(ctx: &'c Context, ts: &'c TransitionSystem, config: CheckConfig) -> Self {
+        ProofSession {
+            ctx,
+            ts,
+            base: Unroller::new_guarded(ctx, ts, true),
+            step: Unroller::new_guarded(ctx, ts, false),
+            config,
+            lemmas: Vec::new(),
+            lemma_frames_base: 0,
+            lemma_frames_step: 0,
+            clean_upto: std::collections::HashMap::new(),
+            step_prop_guards: std::collections::HashMap::new(),
+            sp_guard: None,
+            sp_frames: 0,
+            selectors: ActivationGroup::new(),
+            stats: SessionStats { bitblasts: 1, ..Default::default() },
+        }
+    }
+
+    /// Reuse counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The check configuration the session applies to its queries.
+    pub fn config(&self) -> &CheckConfig {
+        &self.config
+    }
+
+    fn sync_selector_stats(&mut self) {
+        self.stats.selectors_created = self.selectors.created;
+        self.stats.selectors_retired = self.selectors.retired;
+    }
+
+    fn un(&mut self, dir: Dir) -> &mut Unroller<'c> {
+        match dir {
+            Dir::Base => &mut self.base,
+            Dir::Step => &mut self.step,
+        }
+    }
+
+    /// Installs a proven lemma: activated at every existing and future
+    /// frame of both directions (scoped to the query window through the
+    /// frame guards).
+    pub fn add_lemma(&mut self, lemma: ExprRef) {
+        for dir in [Dir::Base, Dir::Step] {
+            let upto = match dir {
+                Dir::Base => self.lemma_frames_base,
+                Dir::Step => self.lemma_frames_step,
+            };
+            for frame in 0..upto {
+                let un = self.un(dir);
+                let l = un.lit_at(frame, lemma);
+                let g = un.frame_guard(frame).expect("session unroller is guarded");
+                un.blaster_mut().solver_mut().add_clause([!g, l]);
+            }
+        }
+        self.lemmas.push(lemma);
+    }
+
+    /// Installs several lemmas.
+    pub fn add_lemmas(&mut self, lemmas: &[ExprRef]) {
+        for &l in lemmas {
+            self.add_lemma(l);
+        }
+    }
+
+    /// Ensures frames `0..=upto` exist in `dir`, with lemmas activated.
+    fn ensure_frames_dir(&mut self, dir: Dir, upto: usize) {
+        self.un(dir).ensure_frame(upto);
+        loop {
+            let done = match dir {
+                Dir::Base => self.lemma_frames_base > upto,
+                Dir::Step => self.lemma_frames_step > upto,
+            };
+            if done {
+                break;
+            }
+            let frame = match dir {
+                Dir::Base => self.lemma_frames_base,
+                Dir::Step => self.lemma_frames_step,
+            };
+            for i in 0..self.lemmas.len() {
+                let lemma = self.lemmas[i];
+                let un = self.un(dir);
+                let l = un.lit_at(frame, lemma);
+                let g = un.frame_guard(frame).expect("session unroller is guarded");
+                un.blaster_mut().solver_mut().add_clause([!g, l]);
+            }
+            match dir {
+                Dir::Base => self.lemma_frames_base += 1,
+                Dir::Step => self.lemma_frames_step += 1,
+            }
+        }
+        self.stats.max_frame = self.stats.max_frame.max(upto);
+    }
+
+    /// Ensures step frames `0..=upto` exist, with lemmas activated in
+    /// each. (The step direction is where callers place hypotheses and
+    /// obligations; base frames grow on demand through the from-reset
+    /// checks.)
+    pub fn ensure_frames(&mut self, upto: usize) {
+        self.ensure_frames_dir(Dir::Step, upto);
+    }
+
+    /// The literal of a 1-bit expression in step frame `frame` (frames
+    /// are created on demand).
+    pub fn literal(&mut self, frame: usize, expr: ExprRef) -> Lit {
+        self.ensure_frames_dir(Dir::Step, frame);
+        self.step.lit_at(frame, expr)
+    }
+
+    /// Creates a fresh selector (activation) literal on the step solver.
+    pub fn new_selector(&mut self) -> Lit {
+        let sel = self.selectors.fresh(self.step.blaster_mut().solver_mut());
+        self.sync_selector_stats();
+        sel
+    }
+
+    /// Adds `selector → expr@frame` on the step side: assuming the
+    /// selector activates the fact; retiring the selector erases it
+    /// without touching the solver's clause capital.
+    pub fn guard_fact(&mut self, selector: Lit, frame: usize, expr: ExprRef) {
+        let l = self.literal(frame, expr);
+        self.selectors.imply(self.step.blaster_mut().solver_mut(), selector, l);
+    }
+
+    /// Permanently deactivates a selector (one unit clause, no rebuild).
+    /// Sound by the retraction argument in [`genfv_sat::assume`].
+    pub fn retire_selector(&mut self, selector: Lit) {
+        self.selectors.retire(self.step.blaster_mut().solver_mut(), selector);
+        self.sync_selector_stats();
+    }
+
+    /// Builds a witness literal implying "at least one of these facts is
+    /// violated": `w → ⋁ ¬expr@frame` (step side). Assuming `w` asks the
+    /// solver to find a model violating one of a whole batch of
+    /// obligations in a single query; on SAT, probe each obligation with
+    /// [`ProofSession::value`].
+    pub fn new_violation_witness(&mut self, obligations: &[(usize, ExprRef)]) -> Lit {
+        let facts: Vec<Lit> =
+            obligations.iter().map(|&(frame, expr)| self.literal(frame, expr)).collect();
+        let w = self.selectors.any_violated(self.step.blaster_mut().solver_mut(), &facts);
+        self.sync_selector_stats();
+        w
+    }
+
+    fn solve_on(&mut self, dir: Dir, window: usize, extra: &[Lit]) -> SolveResult {
+        self.ensure_frames_dir(dir, window);
+        let mut assumptions = Vec::with_capacity(window + 1 + extra.len());
+        // The caller's assumptions (obligations, hypothesis selectors) go
+        // first so the search is focused on the actual query before the
+        // window guards are enabled.
+        assumptions.extend_from_slice(extra);
+        for frame in 0..=window {
+            let g = self.un(dir).frame_guard(frame).expect("session unroller is guarded");
+            assumptions.push(g);
+        }
+        if let Some(b) = self.config.conflict_budget {
+            self.un(dir).blaster_mut().solver_mut().set_conflict_budget(b);
+        }
+        let result = self.un(dir).blaster_mut().solve_with_assumptions(&assumptions);
+        let clauses =
+            self.base.blaster().solver().num_clauses() + self.step.blaster().solver().num_clauses();
+        let solver = self.un(dir).blaster().solver();
+        let s = solver.stats();
+        let last = (s.last_conflicts, s.last_decisions, s.last_propagations);
+        let core = if result.is_unsat() { solver.last_core().len() as u64 } else { 0 };
+        self.stats.solver_calls += 1;
+        if self.stats.solver_calls > 1 {
+            self.stats.rebuilds_avoided += 1;
+        }
+        self.stats.clauses_retained = clauses as u64;
+        self.stats.last_query_conflicts = last.0;
+        self.stats.conflicts += last.0;
+        self.stats.decisions += last.1;
+        self.stats.propagations += last.2;
+        if result.is_unsat() {
+            self.stats.last_core_size = core;
+        }
+        result
+    }
+
+    /// Solves under the session discipline: frame guards `0..=window` of
+    /// the chosen direction plus the caller's assumptions. `from_reset`
+    /// selects the base (pinned-reset) unrolling; otherwise the step
+    /// (arbitrary-start) unrolling answers — so step-side literals
+    /// (selectors, obligations) belong in `extra` only when `from_reset`
+    /// is `false`. Applies the configured conflict budget.
+    pub fn solve_under(&mut self, from_reset: bool, window: usize, extra: &[Lit]) -> SolveResult {
+        self.solve_on(if from_reset { Dir::Base } else { Dir::Step }, window, extra)
+    }
+
+    /// The value of `lit` in the most recent satisfying step-side model.
+    pub fn value(&self, lit: Lit) -> Option<bool> {
+        self.step.blaster().solver().value(lit)
+    }
+
+    /// The subset of the most recent step query's assumptions responsible
+    /// for UNSAT (see [`genfv_sat::Solver::last_core`]).
+    pub fn last_core(&self) -> &[Lit] {
+        self.step.blaster().solver().last_core()
+    }
+
+    fn trace(&self, dir: Dir, name: &str, kind: TraceKind, upto: usize) -> Trace {
+        let un = match dir {
+            Dir::Base => &self.base,
+            Dir::Step => &self.step,
+        };
+        let cycles = read_symbol_cycles(self.ctx, self.ts, un.blaster(), &un.frames()[..=upto]);
+        Trace::from_symbol_cycles(self.ctx, self.ts, name, kind, &cycles)
+    }
+
+    fn drain_check_stats(&mut self, dir: Dir, stats: &mut CheckStats) {
+        let s = self.un(dir).blaster().solver().stats();
+        stats.conflicts += s.last_conflicts;
+        stats.decisions += s.last_decisions;
+        stats.propagations += s.last_propagations;
+        stats.solver_calls += 1;
+    }
+
+    /// Bounded model checking of `property` (plus the installed lemmas) up
+    /// to `depth` cycles from reset. Frames and learnt clauses persist
+    /// into later checks on this session.
+    pub fn bmc_check(&mut self, property: &Property, depth: usize) -> BmcResult {
+        let start = Instant::now();
+        let mut stats = CheckStats::default();
+        let skip = self.clean_upto.get(&property.ok).copied();
+        for k in 0..=depth {
+            if skip.is_some_and(|clean| k <= clean) {
+                continue; // proven clean by an earlier query on this session
+            }
+            self.ensure_frames_dir(Dir::Base, k);
+            let bad = !self.base.lit_at(k, property.ok);
+            let res = self.solve_on(Dir::Base, k, &[bad]);
+            self.drain_check_stats(Dir::Base, &mut stats);
+            match res {
+                SolveResult::Sat => {
+                    let trace = self.trace(
+                        Dir::Base,
+                        &property.name,
+                        TraceKind::CounterexampleFromReset,
+                        k,
+                    );
+                    stats.duration = start.elapsed();
+                    return BmcResult::Falsified { at: k, trace, stats };
+                }
+                SolveResult::Unsat => self.record_clean(property.ok, k),
+                SolveResult::Unknown => {
+                    // Budget exhausted: report what we know (clean so far).
+                    stats.duration = start.elapsed();
+                    return BmcResult::Clean { depth: k.saturating_sub(1), stats };
+                }
+            }
+        }
+        stats.duration = start.elapsed();
+        BmcResult::Clean { depth, stats }
+    }
+
+    /// Records that `ok` has no violation at cycle `k` from reset (an
+    /// UNSAT base answer). Monotone: installing more lemmas only shrinks
+    /// the model set, so the fact never needs invalidation.
+    fn record_clean(&mut self, ok: ExprRef, k: usize) {
+        let entry = self.clean_upto.entry(ok).or_insert(k);
+        *entry = (*entry).max(k);
+    }
+
+    /// Bounded reachability without trace extraction: the earliest cycle
+    /// `<= depth` at which `ok` is violated from reset, or `None` if the
+    /// bound is clean. Queries frame by frame (early exit on the first
+    /// violation) so frames unroll only as deep as the answer requires —
+    /// and stay unrolled for every later check on this session. `Unknown`
+    /// (budget) counts as "no violation found", like
+    /// [`ProofSession::bmc_check`].
+    pub fn first_violation(&mut self, ok: ExprRef, depth: usize) -> Option<usize> {
+        let skip = self.clean_upto.get(&ok).copied();
+        for k in 0..=depth {
+            if skip.is_some_and(|clean| k <= clean) {
+                continue; // proven clean by an earlier query on this session
+            }
+            self.ensure_frames_dir(Dir::Base, k);
+            let bad = !self.base.lit_at(k, ok);
+            match self.solve_on(Dir::Base, k, &[bad]) {
+                SolveResult::Sat => return Some(k),
+                SolveResult::Unsat => self.record_clean(ok, k),
+                SolveResult::Unknown => return None,
+            }
+        }
+        None
+    }
+
+    /// Whether any violation of `ok` is reachable within `depth` cycles —
+    /// the base-case form Houdini uses, where the earliest violating cycle
+    /// is irrelevant.
+    pub fn any_violation(&mut self, ok: ExprRef, depth: usize) -> bool {
+        self.first_violation(ok, depth).is_some()
+    }
+
+    /// K-induction proof attempt for `property` under the installed
+    /// lemmas, entirely by assumptions on the persistent solvers: the step
+    /// case assumes the property at frames `0..k` and asks for a violation
+    /// at frame `k`; the base case runs on the pinned-reset unrolling.
+    /// Matches [`crate::engine::KInduction::prove`] answer-for-answer.
+    pub fn prove(&mut self, property: &Property) -> ProveResult {
+        let start = Instant::now();
+        let mut stats = CheckStats::default();
+        let mut last_step_cex: Option<(usize, Trace)> = None;
+
+        for k in 1..=self.config.max_k {
+            // --- base case: no violation in cycles 0..k from reset -------
+            // Skipped when an earlier BMC/reachability query on this
+            // session already proved cycle k-1 clean (the validation
+            // gauntlet's sanity check makes this the common case).
+            let cached_clean =
+                self.clean_upto.get(&property.ok).is_some_and(|&clean| k - 1 <= clean);
+            if !cached_clean {
+                self.ensure_frames_dir(Dir::Base, k - 1);
+                let bad_base = !self.base.lit_at(k - 1, property.ok);
+                let res = self.solve_on(Dir::Base, k - 1, &[bad_base]);
+                self.drain_check_stats(Dir::Base, &mut stats);
+                match res {
+                    SolveResult::Sat => {
+                        let trace = self.trace(
+                            Dir::Base,
+                            &property.name,
+                            TraceKind::CounterexampleFromReset,
+                            k - 1,
+                        );
+                        stats.duration = start.elapsed();
+                        return ProveResult::Falsified { at: k - 1, trace, stats };
+                    }
+                    SolveResult::Unsat => self.record_clean(property.ok, k - 1),
+                    SolveResult::Unknown => {
+                        stats.duration = start.elapsed();
+                        return ProveResult::Unknown {
+                            reason: format!("base-case budget exhausted at k={k}"),
+                            stats,
+                        };
+                    }
+                }
+            }
+
+            // --- step case ------------------------------------------------
+            self.ensure_frames_dir(Dir::Step, k);
+            // The property is assumed at frames 0..k through one stable
+            // activation literal (`guard → ok@frame`): learnt clauses
+            // carry that single literal instead of a depth-dependent set
+            // of `ok` assumptions, so conflict knowledge from earlier
+            // depths — and earlier properties on this session — stays
+            // usable.
+            let (guard, covered) = match self.step_prop_guards.get(&property.ok) {
+                Some(&(g, c)) => (g, c),
+                None => (self.new_selector(), 0),
+            };
+            for frame in covered..k {
+                let ok = self.step.lit_at(frame, property.ok);
+                self.selectors.imply(self.step.blaster_mut().solver_mut(), guard, ok);
+            }
+            self.step_prop_guards.insert(property.ok, (guard, covered.max(k)));
+            let mut assumptions: Vec<Lit> = Vec::with_capacity(3);
+            assumptions.push(guard);
+            if self.config.simple_path {
+                let g = match self.sp_guard {
+                    Some(g) => g,
+                    None => {
+                        let g = self.new_selector();
+                        self.sp_guard = Some(g);
+                        g
+                    }
+                };
+                if self.sp_frames < k {
+                    self.step.assert_simple_path_range(self.sp_frames + 1, k, Some(g));
+                    self.sp_frames = k;
+                }
+                assumptions.push(g);
+            }
+            let bad_step = !self.step.lit_at(k, property.ok);
+            assumptions.push(bad_step);
+            let res = self.solve_on(Dir::Step, k, &assumptions);
+            self.drain_check_stats(Dir::Step, &mut stats);
+            match res {
+                SolveResult::Unsat => {
+                    stats.duration = start.elapsed();
+                    return ProveResult::Proven { k, stats };
+                }
+                SolveResult::Sat => {
+                    let trace = self.trace(Dir::Step, &property.name, TraceKind::InductionStep, k);
+                    last_step_cex = Some((k, trace));
+                }
+                SolveResult::Unknown => {
+                    stats.duration = start.elapsed();
+                    return ProveResult::Unknown {
+                        reason: format!("step-case budget exhausted at k={k}"),
+                        stats,
+                    };
+                }
+            }
+        }
+
+        stats.duration = start.elapsed();
+        match last_step_cex {
+            Some((k, trace)) => ProveResult::StepFailure { k, trace, stats },
+            None => ProveResult::Unknown {
+                reason: "no induction depth attempted (max_k = 0?)".to_string(),
+                stats,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genfv_ir::Context;
+
+    /// count' = count + 1, init 0, 4 bits.
+    fn counter(ctx: &mut Context) -> TransitionSystem {
+        let c = ctx.symbol("count", 4);
+        let one = ctx.constant(1, 4);
+        let zero = ctx.constant(0, 4);
+        let next = ctx.add(c, one);
+        let mut ts = TransitionSystem::new("counter");
+        ts.add_state(c, Some(zero), next);
+        ts.add_signal("count", c);
+        ts
+    }
+
+    #[test]
+    fn one_session_serves_bmc_and_induction() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let cc = ctx.eq(c, c);
+        let trivially_true = Property::new("tauto", cc);
+        let five = ctx.constant(5, 4);
+        let lt5 = ctx.ult(c, five);
+        let eventually_false = Property::new("lt5", lt5);
+
+        let mut s = ProofSession::new(&ctx, &ts, CheckConfig::default());
+        assert!(s.bmc_check(&trivially_true, 8).is_clean());
+        assert!(s.prove(&trivially_true).is_proven());
+        match s.bmc_check(&eventually_false, 8) {
+            BmcResult::Falsified { at, .. } => assert_eq!(at, 5),
+            other => panic!("expected falsification: {other:?}"),
+        }
+        let stats = s.stats();
+        assert_eq!(stats.bitblasts, 1, "one persistent load for the whole session");
+        assert_eq!(stats.rebuilds_avoided, stats.solver_calls - 1);
+        assert!(stats.clauses_retained > 0);
+    }
+
+    #[test]
+    fn selectors_activate_and_retire_hypotheses() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let nine = ctx.constant(9, 4);
+        let eq9 = ctx.eq(c, nine);
+        let mut s = ProofSession::new(&ctx, &ts, CheckConfig::default());
+
+        let sel = s.new_selector();
+        s.guard_fact(sel, 0, eq9);
+        let l = s.literal(0, eq9);
+        // Selector assumed: count@0 == 9 is forced.
+        assert!(s.solve_under(false, 0, &[sel, !l]).is_unsat());
+        // Selector not assumed: free.
+        assert!(s.solve_under(false, 0, &[!l]).is_sat());
+        // Retired: assuming the selector now contradicts nothing else but
+        // can no longer force the fact — the clause is satisfied by ¬sel.
+        s.retire_selector(sel);
+        assert!(s.solve_under(false, 0, &[!l]).is_sat());
+    }
+
+    #[test]
+    fn violation_witness_finds_the_violated_member() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let three = ctx.constant(3, 4);
+        let lt3 = ctx.ult(c, three); // violated from reset at cycle 3
+        let cc = ctx.eq(c, c); // never violated
+        let mut s = ProofSession::new(&ctx, &ts, CheckConfig::default());
+        assert!(s.any_violation(lt3, 8));
+        assert!(!s.any_violation(cc, 8));
+    }
+
+    #[test]
+    fn lemmas_scope_to_existing_and_future_frames() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let eight = ctx.constant(8, 4);
+        let lt8 = ctx.ult(c, eight);
+        let four = ctx.constant(4, 4);
+        let lt4 = ctx.ult(c, four);
+
+        let mut s = ProofSession::new(&ctx, &ts, CheckConfig::default());
+        // Build some frames first, then install: both directions covered.
+        s.ensure_frames(2);
+        s.add_lemma(lt4);
+        let l0 = s.literal(0, lt8);
+        // lt4@0 (lemma) implies lt8@0 in every model of the window.
+        assert!(s.solve_under(false, 0, &[!l0]).is_unsat());
+        let l3 = s.literal(3, lt8);
+        // Frame 3 created after the lemma was installed: 0..3 all carry it,
+        // and count < 4 at frame 0 cannot reach 8 by frame 3 anyway.
+        assert!(s.solve_under(false, 3, &[!l3]).is_unsat());
+    }
+
+    #[test]
+    fn base_direction_constant_folds_reset() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let three = ctx.constant(3, 4);
+        let not3 = ctx.ne(c, three);
+        let never3 = Property::new("never3", not3);
+        let mut s = ProofSession::new(&ctx, &ts, CheckConfig::default());
+        // The base unrolling knows the reset value outright (bound, not
+        // activated), so `count != 3` is clean for exactly 3 cycles and
+        // deterministically falsified at cycle 3.
+        match s.bmc_check(&never3, 2) {
+            BmcResult::Clean { depth, .. } => assert_eq!(depth, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match s.bmc_check(&never3, 8) {
+            BmcResult::Falsified { at, trace, .. } => {
+                assert_eq!(at, 3);
+                assert_eq!(trace.steps.len(), 4, "cycles 0..=3");
+            }
+            other => panic!("expected falsification at 3: {other:?}"),
+        }
+    }
+}

@@ -88,11 +88,8 @@ impl Trace {
 
     /// Names of all signals appearing in the trace.
     pub fn signal_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .steps
-            .iter()
-            .flat_map(|s| s.values.keys().cloned())
-            .collect();
+        let mut names: Vec<String> =
+            self.steps.iter().flat_map(|s| s.values.keys().cloned()).collect();
         names.sort();
         names.dedup();
         names
@@ -170,9 +167,8 @@ mod tests {
     #[test]
     fn trace_from_cycles_evaluates_signals() {
         let (ctx, ts, c) = tiny_design();
-        let cycles: Vec<Env> = (0..3u64)
-            .map(|i| Env::from([(c, BitVecValue::from_u64(i + 7, 4))]))
-            .collect();
+        let cycles: Vec<Env> =
+            (0..3u64).map(|i| Env::from([(c, BitVecValue::from_u64(i + 7, 4))])).collect();
         let t = Trace::from_symbol_cycles(&ctx, &ts, "p", TraceKind::InductionStep, &cycles);
         assert_eq!(t.len(), 3);
         assert_eq!(t.steps[0].get("count").unwrap().to_u64(), Some(7));
@@ -183,9 +179,8 @@ mod tests {
     #[test]
     fn validate_transitions_accepts_legal() {
         let (ctx, ts, c) = tiny_design();
-        let cycles: Vec<Env> = (5..8u64)
-            .map(|i| Env::from([(c, BitVecValue::from_u64(i, 4))]))
-            .collect();
+        let cycles: Vec<Env> =
+            (5..8u64).map(|i| Env::from([(c, BitVecValue::from_u64(i, 4))])).collect();
         let t = Trace::from_symbol_cycles(&ctx, &ts, "p", TraceKind::InductionStep, &cycles);
         assert_eq!(t.validate_transitions(&ctx, &ts, &cycles), None);
     }
@@ -193,10 +188,8 @@ mod tests {
     #[test]
     fn validate_transitions_rejects_illegal() {
         let (ctx, ts, c) = tiny_design();
-        let cycles: Vec<Env> = [3u64, 9]
-            .iter()
-            .map(|&i| Env::from([(c, BitVecValue::from_u64(i, 4))]))
-            .collect();
+        let cycles: Vec<Env> =
+            [3u64, 9].iter().map(|&i| Env::from([(c, BitVecValue::from_u64(i, 4))])).collect();
         let t = Trace::from_symbol_cycles(&ctx, &ts, "p", TraceKind::InductionStep, &cycles);
         assert_eq!(t.validate_transitions(&ctx, &ts, &cycles), Some(1));
     }
@@ -211,8 +204,10 @@ mod tests {
         ts.add_state(aux, None, c);
         ts.add_signal("c", c);
         ts.add_signal("__sva_p1", aux);
-        let cycles =
-            vec![Env::from([(c, BitVecValue::from_bool(true)), (aux, BitVecValue::from_bool(false))])];
+        let cycles = vec![Env::from([
+            (c, BitVecValue::from_bool(true)),
+            (aux, BitVecValue::from_bool(false)),
+        ])];
         let t = Trace::from_symbol_cycles(&ctx, &ts, "p", TraceKind::InductionStep, &cycles);
         assert!(t.steps[0].get("__sva_p1").is_none());
         assert!(t.steps[0].get("c").is_some());

@@ -2,14 +2,33 @@
 //! solver.
 //!
 //! Frame *i* has its own [`LitEnv`]; state symbols of frame *i+1* are bound
-//! to the bit-blasted next-state functions evaluated in frame *i*.
-//! Environment constraints are asserted in every frame. With
+//! to the bit-blasted next-state functions evaluated in frame *i*. With
 //! `use_init = true`, frame 0 additionally pins initialised states to their
-//! reset values (BMC/base case); with `false`, frame 0 is an arbitrary
-//! state (induction step).
+//! reset values (BMC/base case) — binding them as constants, so the
+//! bit-blaster folds reset values through the whole unrolling; with
+//! `false`, frame 0 is an arbitrary state (induction step).
+//!
+//! Environment constraints hold in every frame. [`Unroller::new`] asserts
+//! them outright (the one-shot/rebuild engines); [`Unroller::new_guarded`]
+//! activates them per frame through [`Unroller::frame_guard`] literals
+//! instead, so a query over frames `0..=k` of a long-lived unrolling
+//! assumes exactly the constraints a fresh `k`-frame unrolling would
+//! assert — deeper frames do not restrict shallower ones, and frames only
+//! ever grow. The guarded form is the substrate of
+//! [`crate::session::ProofSession`], which owns one guarded unroller per
+//! proof direction (pinned base, free step).
 
 use genfv_ir::{BitBlaster, Context, ExprRef, LitEnv, TransitionSystem};
 use genfv_sat::Lit;
+
+/// How frame 0 treats initialised state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum InitMode {
+    /// Frame 0 binds initialised states directly to their reset values.
+    Pinned,
+    /// Frame 0 is an arbitrary state.
+    Free,
+}
 
 /// Incremental unroller.
 #[derive(Debug)]
@@ -18,13 +37,34 @@ pub struct Unroller<'c> {
     ts: &'c TransitionSystem,
     bb: BitBlaster,
     frames: Vec<LitEnv>,
-    use_init: bool,
+    init: InitMode,
+    /// Per-frame activation literals for environment constraints (and any
+    /// caller-supplied frame-local facts); `None` when constraints are
+    /// asserted unconditionally (one-shot/rebuild mode).
+    frame_guards: Option<Vec<Lit>>,
 }
 
 impl<'c> Unroller<'c> {
-    /// Creates an unroller with zero frames.
+    /// Creates an unroller with zero frames and unconditional constraints.
     pub fn new(ctx: &'c Context, ts: &'c TransitionSystem, use_init: bool) -> Self {
-        Unroller { ctx, ts, bb: BitBlaster::new(), frames: Vec::new(), use_init }
+        let init = if use_init { InitMode::Pinned } else { InitMode::Free };
+        Unroller { ctx, ts, bb: BitBlaster::new(), frames: Vec::new(), init, frame_guards: None }
+    }
+
+    /// Creates an unroller for long-lived sessions: environment
+    /// constraints are activated per frame through guard literals, so any
+    /// query window `0..=k` on the persistent solver is equivalent to a
+    /// fresh `k`-frame unrolling.
+    pub fn new_guarded(ctx: &'c Context, ts: &'c TransitionSystem, use_init: bool) -> Self {
+        let init = if use_init { InitMode::Pinned } else { InitMode::Free };
+        Unroller {
+            ctx,
+            ts,
+            bb: BitBlaster::new(),
+            frames: Vec::new(),
+            init,
+            frame_guards: Some(Vec::new()),
+        }
     }
 
     /// Number of frames created so far.
@@ -37,6 +77,15 @@ impl<'c> Unroller<'c> {
         self.frames.is_empty()
     }
 
+    /// The activation literal of frame `k`'s environment constraints.
+    /// `None` unless this is a guarded (session) unroller.
+    ///
+    /// # Panics
+    /// Panics if frame `k` does not exist yet.
+    pub fn frame_guard(&self, k: usize) -> Option<Lit> {
+        self.frame_guards.as_ref().map(|g| g[k])
+    }
+
     /// Ensures frames `0..=n` exist.
     pub fn ensure_frame(&mut self, n: usize) {
         while self.frames.len() <= n {
@@ -47,7 +96,7 @@ impl<'c> Unroller<'c> {
     fn push_frame(&mut self) {
         let mut env = LitEnv::new();
         if self.frames.is_empty() {
-            if self.use_init {
+            if self.init == InitMode::Pinned {
                 for st in self.ts.states() {
                     if let Some(init) = st.init {
                         let lits = self.bb.blast(self.ctx, &mut env, init);
@@ -71,11 +120,24 @@ impl<'c> Unroller<'c> {
         }
         self.frames.push(env);
         let idx = self.frames.len() - 1;
-        // Environment constraints hold in every frame.
+        // Environment constraints hold in every frame — asserted outright
+        // in one-shot mode, activated by the frame guard in session mode.
+        let guard = if let Some(guards) = &mut self.frame_guards {
+            let g = Lit::pos(self.bb.solver_mut().new_var());
+            guards.push(g);
+            Some(g)
+        } else {
+            None
+        };
         let constraints: Vec<ExprRef> = self.ts.constraints().to_vec();
         for c in constraints {
             let l = self.lit_at(idx, c);
-            self.bb.assert_lit(l);
+            match guard {
+                Some(g) => {
+                    self.bb.solver_mut().add_clause([!g, l]);
+                }
+                None => self.bb.assert_lit(l),
+            }
         }
     }
 
@@ -99,9 +161,26 @@ impl<'c> Unroller<'c> {
     /// every pair of frames up to `max_frame` — required for k-induction
     /// completeness, optional for soundness.
     pub fn assert_simple_path(&mut self, max_frame: usize) {
-        for i in 0..max_frame {
-            for j in (i + 1)..=max_frame {
+        self.assert_simple_path_range(1, max_frame, None);
+    }
+
+    /// Adds simple-path constraints only for pairs `(i, j)` with
+    /// `first_new_frame <= j <= max_frame` and `i < j`, optionally guarded
+    /// by an activation literal. Long-lived sessions use the range form to
+    /// avoid re-adding pairs as the window grows, and the guard so other
+    /// queries on the same solver are unaffected.
+    pub fn assert_simple_path_range(
+        &mut self,
+        first_new_frame: usize,
+        max_frame: usize,
+        guard: Option<Lit>,
+    ) {
+        for j in first_new_frame..=max_frame {
+            for i in 0..j {
                 let mut diff: Vec<Lit> = Vec::new();
+                if let Some(g) = guard {
+                    diff.push(!g);
+                }
                 for st in self.ts.states() {
                     let a = self.lits_at(i, st.symbol);
                     let b = self.lits_at(j, st.symbol);
@@ -234,5 +313,41 @@ mod tests {
         u.ensure_frame(2);
         u.assert_simple_path(2);
         assert!(u.blaster_mut().solver_mut().solve().is_unsat(), "3 distinct states impossible");
+    }
+
+    #[test]
+    fn guarded_constraints_scope_to_the_assumed_window() {
+        let mut ctx = Context::new();
+        let mut ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let eight = ctx.constant(8, 4);
+        let lt8 = ctx.ult(c, eight);
+        ts.add_constraint(lt8);
+        let seven = ctx.constant(7, 4);
+        let eq7 = ctx.eq(c, seven);
+        let mut u = Unroller::new_guarded(&ctx, &ts, false);
+        u.ensure_frame(2);
+        let g0 = u.frame_guard(0).expect("guarded");
+        let g1 = u.frame_guard(1).expect("guarded");
+        let l = u.lit_at(0, eq7);
+        // count@0 == 7 is fine while only frame 0's constraint is active…
+        assert!(u.blaster_mut().solve_with_assumptions(&[g0, l]).is_sat());
+        // …but activating frame 1's constraint forbids it (count@1 == 8),
+        // exactly like a fresh 2-frame unrolling with asserted constraints.
+        assert!(u.blaster_mut().solve_with_assumptions(&[g0, g1, l]).is_unsat());
+    }
+
+    #[test]
+    fn guarded_pinned_init_still_folds_reset_values() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let three = ctx.constant(3, 4);
+        let eq3 = ctx.eq(c, three);
+        let mut u = Unroller::new_guarded(&ctx, &ts, true);
+        u.ensure_frame(3);
+        let l = u.lit_at(3, eq3);
+        // Reset values are bound (not guarded), so count@3 == 3 outright.
+        assert!(u.blaster_mut().solve_with_assumptions(&[!l]).is_unsat());
     }
 }

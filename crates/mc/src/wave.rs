@@ -125,12 +125,7 @@ pub fn to_vcd(trace: &Trace) -> String {
         })
         .collect();
     let width_of = |name: &str| -> u32 {
-        trace
-            .steps
-            .iter()
-            .find_map(|s| s.get(name))
-            .map(BitVecValue::width)
-            .unwrap_or(1)
+        trace.steps.iter().find_map(|s| s.get(name)).map(BitVecValue::width).unwrap_or(1)
     };
     for (name, id) in names.iter().zip(&ids) {
         let w = width_of(name);

@@ -43,7 +43,8 @@ fn compile_prop(
 #[test]
 fn paper_property_clean_in_bmc() {
     let (mut ctx, mut ts) = sync_counters();
-    let p = compile_prop(&mut ctx, &mut ts, "property equal_count; &count1 |-> &count2; endproperty");
+    let p =
+        compile_prop(&mut ctx, &mut ts, "property equal_count; &count1 |-> &count2; endproperty");
     let prop = Property::new(p.name, p.ok);
     let res = bmc(&ctx, &ts, &prop, &[], 20, &CheckConfig::default());
     assert!(res.is_clean(), "no reachable violation: {res:?}");
@@ -52,7 +53,8 @@ fn paper_property_clean_in_bmc() {
 #[test]
 fn paper_property_fails_induction_step() {
     let (mut ctx, mut ts) = sync_counters();
-    let p = compile_prop(&mut ctx, &mut ts, "property equal_count; &count1 |-> &count2; endproperty");
+    let p =
+        compile_prop(&mut ctx, &mut ts, "property equal_count; &count1 |-> &count2; endproperty");
     let prop = Property::new(p.name, p.ok);
     let prover = KInduction::new(&ctx, &ts, CheckConfig { max_k: 3, ..Default::default() });
     match prover.prove(&prop, &[]) {
@@ -74,7 +76,8 @@ fn paper_property_fails_induction_step() {
 #[test]
 fn helper_lemma_is_inductive_and_closes_proof() {
     let (mut ctx, mut ts) = sync_counters();
-    let target = compile_prop(&mut ctx, &mut ts, "property equal_count; &count1 |-> &count2; endproperty");
+    let target =
+        compile_prop(&mut ctx, &mut ts, "property equal_count; &count1 |-> &count2; endproperty");
     let helper = compile_prop(&mut ctx, &mut ts, "property helper; count1 == count2; endproperty");
 
     let config = CheckConfig { max_k: 3, ..Default::default() };
@@ -241,11 +244,7 @@ endmodule
     let module = parse_source(src).unwrap().remove(0);
     let mut ctx = Context::new();
     let mut ts = elaborate(&mut ctx, &module).unwrap();
-    let p = compile_prop(
-        &mut ctx,
-        &mut ts,
-        "en && !rst && (c == 4'd3) |=> (c == 4'd4)",
-    );
+    let p = compile_prop(&mut ctx, &mut ts, "en && !rst && (c == 4'd3) |=> (c == 4'd4)");
     let prop = Property::new(p.name, p.ok);
     let prover = KInduction::new(&ctx, &ts, CheckConfig { max_k: 4, ..Default::default() });
     let res = prover.prove(&prop, &[]);

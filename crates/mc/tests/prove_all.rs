@@ -65,8 +65,7 @@ endmodule
     let true_prop = pc.compile(&parse_assertion("x == x").unwrap()).unwrap();
 
     let prover = KInduction::new(&ctx, &ts, CheckConfig::default());
-    let props =
-        [Property::new("false", false_prop.ok), Property::new("true", true_prop.ok)];
+    let props = [Property::new("false", false_prop.ok), Property::new("true", true_prop.ok)];
     let results = prover.prove_all(&props, &[]);
     assert!(matches!(results[0], ProveResult::Falsified { .. }));
     assert!(results[1].is_proven());

@@ -1,0 +1,152 @@
+//! Property test: random add/retract orders of guarded hypotheses on one
+//! long-lived [`ProofSession`] must be observationally identical to a
+//! fresh session holding only the currently-active hypotheses.
+//!
+//! This is the executable form of the activation-literal retraction
+//! soundness argument (see `genfv_sat::assume`): retiring a selector adds
+//! only the unit clause `¬sel`, so however many hypotheses were added,
+//! retired, and re-added — and in whatever order — the surviving solver
+//! answers every query exactly as a freshly-built solver loaded with just
+//! the active set would. Divergence here would mean retraction leaks
+//! constraints (unsound) or drops learnt consequences it may keep
+//! (incomplete reuse).
+
+use genfv_ir::{Context, ExprRef, TransitionSystem};
+use genfv_mc::{CheckConfig, ProofSession};
+use genfv_sat::Lit;
+use proptest::prelude::*;
+
+/// count' = count + 1, init 0, 4 bits — small enough that every query is
+/// instant, rich enough that hypotheses genuinely interact (count bounds
+/// propagate through the transition relation).
+fn counter(ctx: &mut Context) -> TransitionSystem {
+    let c = ctx.symbol("count", 4);
+    let one = ctx.constant(1, 4);
+    let zero = ctx.constant(0, 4);
+    let next = ctx.add(c, one);
+    let mut ts = TransitionSystem::new("counter");
+    ts.add_state(c, Some(zero), next);
+    ts.add_signal("count", c);
+    ts
+}
+
+/// Frame-0 hypotheses to add/retract: upper bounds and exclusions over
+/// `count`. Some imply others (count < 3 ⇒ count < 6), so the solver's
+/// learnt clauses genuinely cross hypothesis boundaries.
+fn fact_pool(ctx: &mut Context) -> Vec<ExprRef> {
+    let c = ctx.find_symbol("count").unwrap();
+    let mut pool = Vec::new();
+    for bound in [3u64, 6, 11, 15] {
+        let k = ctx.constant(bound, 4);
+        pool.push(ctx.ult(c, k));
+    }
+    for excluded in [7u64, 12] {
+        let k = ctx.constant(excluded, 4);
+        pool.push(ctx.ne(c, k));
+    }
+    pool
+}
+
+/// One add/retract episode: `(action, fact_index)`; action 0 adds the
+/// fact (fresh selector, also after an earlier retirement), 1 retires it.
+type Episode = (u8, u8);
+
+fn apply_episodes(
+    session: &mut ProofSession<'_>,
+    pool: &[ExprRef],
+    episodes: &[Episode],
+) -> Vec<Option<Lit>> {
+    let mut sels: Vec<Option<Lit>> = vec![None; pool.len()];
+    for &(action, idx) in episodes {
+        let i = idx as usize % pool.len();
+        match action {
+            0 if sels[i].is_none() => {
+                let sel = session.new_selector();
+                session.guard_fact(sel, 0, pool[i]);
+                sels[i] = Some(sel);
+            }
+            1 => {
+                if let Some(sel) = sels[i].take() {
+                    session.retire_selector(sel);
+                }
+            }
+            _ => {}
+        }
+    }
+    sels
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn retract_equals_absence(
+        episodes in proptest::collection::vec((0u8..2, 0u8..6), 0..20)
+    ) {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let pool = fact_pool(&mut ctx);
+
+        // The long-lived session experiences the whole history.
+        let mut veteran = ProofSession::new(&ctx, &ts, CheckConfig::default());
+        let sels = apply_episodes(&mut veteran, &pool, &episodes);
+        let active: Vec<usize> =
+            (0..pool.len()).filter(|&i| sels[i].is_some()).collect();
+
+        // The fresh session sees only the survivors.
+        let mut fresh = ProofSession::new(&ctx, &ts, CheckConfig::default());
+        let mut fresh_sels: Vec<Option<Lit>> = vec![None; pool.len()];
+        for &i in &active {
+            let sel = fresh.new_selector();
+            fresh.guard_fact(sel, 0, pool[i]);
+            fresh_sels[i] = Some(sel);
+        }
+
+        let veteran_active: Vec<Lit> = active.iter().map(|&i| sels[i].unwrap()).collect();
+        let fresh_active: Vec<Lit> =
+            active.iter().map(|&i| fresh_sels[i].unwrap()).collect();
+
+        for &probe in &pool {
+            // Step-style query: do the active hypotheses at frame 0 force
+            // `probe` at frame 1?
+            let bad_v = !veteran.literal(1, probe);
+            let mut asm_v = veteran_active.clone();
+            asm_v.push(bad_v);
+            let v = veteran.solve_under(false, 1, &asm_v);
+
+            let bad_f = !fresh.literal(1, probe);
+            let mut asm_f = fresh_active.clone();
+            asm_f.push(bad_f);
+            let f = fresh.solve_under(false, 1, &asm_f);
+            prop_assert_eq!(
+                v, f,
+                "step query diverged after {:?} (active {:?})", episodes, active
+            );
+
+            // Deeper step window: frame-0 hypotheses propagate two
+            // transitions the same way on both sessions.
+            let bad_v = !veteran.literal(2, probe);
+            let mut asm_v = veteran_active.clone();
+            asm_v.push(bad_v);
+            let v = veteran.solve_under(false, 2, &asm_v);
+
+            let bad_f = !fresh.literal(2, probe);
+            let mut asm_f = fresh_active.clone();
+            asm_f.push(bad_f);
+            let f = fresh.solve_under(false, 2, &asm_f);
+            prop_assert_eq!(
+                v, f,
+                "window-2 query diverged after {:?} (active {:?})", episodes, active
+            );
+
+            // From-reset probe (base direction; hypotheses are step-side
+            // and do not apply): both sessions must agree outright.
+            let v = veteran.first_violation(probe, 3);
+            let f = fresh.first_violation(probe, 3);
+            prop_assert_eq!(
+                v, f,
+                "reset probe diverged after {:?} (active {:?})", episodes, active
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Activation-literal (selector) bookkeeping for incremental solving.
+//!
+//! Assumption-based incremental SAT keeps one long-lived [`Solver`] and
+//! encodes every retractable hypothesis `F` behind a fresh *activation
+//! literal* `s` as the clause `¬s ∨ F`. Assuming `s` in a
+//! [`Solver::solve_with_assumptions`] query activates the hypothesis;
+//! leaving it out deactivates it for that query; adding the unit clause
+//! `¬s` retires it permanently. Either way the solver's clause database —
+//! including everything it has *learnt* — survives intact, because the
+//! guarded clauses are satisfiable through `¬s` and therefore never have
+//! to be deleted.
+//!
+//! [`ActivationGroup`] is the small allocator/bookkeeper for that
+//! discipline. The model checker's `ProofSession` drives all lemma,
+//! candidate, and property guarding through it; the counters it keeps
+//! (`created`/`retired`) surface in the session statistics.
+//!
+//! ## Soundness of retraction
+//!
+//! Retiring `s` only *adds* the unit `¬s`, which satisfies every clause
+//! guarded by `s`. No clause that encodes the transition relation or any
+//! other hypothesis is touched, so the solver's state remains a correct
+//! encoding of the remaining (still-active) hypotheses: any model of the
+//! remaining system extends to a model of the clause database by setting
+//! retired selectors false, and any UNSAT answer under the remaining
+//! assumptions is already justified without the retired clauses. Learnt
+//! clauses are sound consequences of the database at the time they were
+//! derived; clauses derived *from* a guarded hypothesis necessarily
+//! contain `¬s`-reachable support and stay consequences after the unit is
+//! added. Hence add/retire sequences in any order leave the solver
+//! equivalent to a fresh solver loaded with only the active hypotheses —
+//! the property the `session_lemma_proptest` test exercises.
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// Allocates, guards, and retires activation literals on one [`Solver`].
+///
+/// Plain data (two counters); all state lives in the solver itself, so a
+/// group can be embedded in any structure that owns or borrows the solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ActivationGroup {
+    /// Activation literals handed out by [`ActivationGroup::fresh`].
+    pub created: u64,
+    /// Activation literals permanently deactivated.
+    pub retired: u64,
+}
+
+impl ActivationGroup {
+    /// A new, empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh activation literal (a new solver variable,
+    /// positive polarity).
+    pub fn fresh(&mut self, solver: &mut Solver) -> Lit {
+        self.created += 1;
+        Lit::pos(solver.new_var())
+    }
+
+    /// Guards a fact behind `selector`: adds `selector → fact`
+    /// (the clause `¬selector ∨ fact`). Assuming `selector` activates the
+    /// fact for that query only.
+    pub fn imply(&self, solver: &mut Solver, selector: Lit, fact: Lit) {
+        solver.add_clause([!selector, fact]);
+    }
+
+    /// Builds a *violation witness*: a fresh literal `w` with
+    /// `w → ⋁ᵢ ¬factᵢ`. Assuming `w` asks the solver for a model in which
+    /// at least one of the facts fails — a whole batch of proof
+    /// obligations in one query. On SAT, probe each fact's value to see
+    /// which ones the model falsified.
+    pub fn any_violated(&mut self, solver: &mut Solver, facts: &[Lit]) -> Lit {
+        let w = self.fresh(solver);
+        let mut clause = Vec::with_capacity(facts.len() + 1);
+        clause.push(!w);
+        clause.extend(facts.iter().map(|&f| !f));
+        solver.add_clause(clause);
+        w
+    }
+
+    /// Permanently deactivates `selector` with the unit clause
+    /// `¬selector`. One clause, no rebuild; see the module docs for why
+    /// this is sound.
+    pub fn retire(&mut self, solver: &mut Solver, selector: Lit) {
+        self.retired += 1;
+        solver.add_clause([!selector]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_fact_activates_only_under_assumption() {
+        let mut solver = Solver::new();
+        let mut group = ActivationGroup::new();
+        let x = Lit::pos(solver.new_var());
+        let s = group.fresh(&mut solver);
+        group.imply(&mut solver, s, x);
+        assert!(solver.solve_with_assumptions(&[s, !x]).is_unsat());
+        assert!(solver.solve_with_assumptions(&[!x]).is_sat());
+    }
+
+    #[test]
+    fn retired_selector_no_longer_forces_its_fact() {
+        let mut solver = Solver::new();
+        let mut group = ActivationGroup::new();
+        let x = Lit::pos(solver.new_var());
+        let s = group.fresh(&mut solver);
+        group.imply(&mut solver, s, x);
+        group.retire(&mut solver, s);
+        // The guarded clause is satisfied through ¬s; x is free again.
+        assert!(solver.solve_with_assumptions(&[!x]).is_sat());
+        assert_eq!(group.created, 1);
+        assert_eq!(group.retired, 1);
+    }
+
+    #[test]
+    fn violation_witness_finds_a_falsified_member() {
+        let mut solver = Solver::new();
+        let mut group = ActivationGroup::new();
+        let a = Lit::pos(solver.new_var());
+        let b = Lit::pos(solver.new_var());
+        solver.add_clause([a]); // a is forced; b is free
+        let w = group.any_violated(&mut solver, &[a, b]);
+        assert!(solver.solve_with_assumptions(&[w]).is_sat());
+        // The model must falsify at least one member — and it cannot be a.
+        assert_eq!(solver.value(a), Some(true));
+        assert_eq!(solver.value(b), Some(false));
+        // With both forced true the witness becomes unsatisfiable.
+        solver.add_clause([b]);
+        assert!(solver.solve_with_assumptions(&[w]).is_unsat());
+    }
+
+    #[test]
+    fn retraction_leaves_unrelated_facts_intact() {
+        let mut solver = Solver::new();
+        let mut group = ActivationGroup::new();
+        let x = Lit::pos(solver.new_var());
+        let y = Lit::pos(solver.new_var());
+        let sx = group.fresh(&mut solver);
+        let sy = group.fresh(&mut solver);
+        group.imply(&mut solver, sx, x);
+        group.imply(&mut solver, sy, y);
+        group.retire(&mut solver, sx);
+        // y's guard is untouched by x's retirement.
+        assert!(solver.solve_with_assumptions(&[sy, !y]).is_unsat());
+        assert!(solver.solve_with_assumptions(&[!x, sy]).is_sat());
+    }
+}

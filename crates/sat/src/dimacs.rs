@@ -151,10 +151,10 @@ mod tests {
     #[test]
     fn parse_multiline_clause() {
         let cnf = parse("p cnf 2 1\n1\n2 0\n").unwrap();
-        assert_eq!(cnf.clauses, vec![vec![
-            Lit::pos(Var::from_index(0)),
-            Lit::pos(Var::from_index(1))
-        ]]);
+        assert_eq!(
+            cnf.clauses,
+            vec![vec![Lit::pos(Var::from_index(0)), Lit::pos(Var::from_index(1))]]
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * Luby-sequence restarts,
 //! * glue-(LBD-)based learnt-clause database reduction,
 //! * incremental solving under assumptions with final-conflict
-//!   (unsat-core-over-assumptions) extraction.
+//!   (unsat-core-over-assumptions) extraction,
+//! * activation-literal helpers ([`ActivationGroup`]) for guarding and
+//!   retracting hypotheses on a long-lived solver without losing learnt
+//!   clauses — the substrate of the model checker's incremental proof
+//!   sessions.
 //!
 //! The public entry point is [`Solver`]. Variables are created with
 //! [`Solver::new_var`], clauses added with [`Solver::add_clause`], and
@@ -37,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assume;
 pub mod clause;
 pub mod dimacs;
 pub mod lit;
 pub mod solver;
 pub mod tseitin;
 
+pub use assume::ActivationGroup;
 pub use clause::{Clause, ClauseRef};
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};

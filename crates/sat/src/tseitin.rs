@@ -218,11 +218,7 @@ mod tests {
                 let ax = if a_val { x } else { !x };
                 let ay = if b_val { y } else { !y };
                 assert!(s.solve_with_assumptions(&[ax, ay]).is_sat());
-                assert_eq!(
-                    s.value(g),
-                    Some(reference(a_val, b_val)),
-                    "inputs ({a_val},{b_val})"
-                );
+                assert_eq!(s.value(g), Some(reference(a_val, b_val)), "inputs ({a_val},{b_val})");
             }
         }
     }

@@ -30,14 +30,17 @@ fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
 /// Checks that a model returned by the solver actually satisfies the CNF.
 fn model_satisfies(solver: &Solver, clauses: &[Vec<Lit>]) -> bool {
     clauses.iter().all(|clause| {
-        clause.iter().any(|&l| solver.value(l) == Some(true) || solver.value(l).is_none() && {
-            // Unassigned variables are unconstrained; any value works, so a
-            // clause containing one is satisfiable by extension. The solver
-            // only leaves a var unassigned if no clause forced it, in which
-            // case some other literal in this clause must already be true —
-            // except for clauses made entirely of don't-cares. Treat
-            // unassigned positively to accept such extensions.
-            true
+        clause.iter().any(|&l| {
+            solver.value(l) == Some(true)
+                || solver.value(l).is_none() && {
+                    // Unassigned variables are unconstrained; any value works, so a
+                    // clause containing one is satisfiable by extension. The solver
+                    // only leaves a var unassigned if no clause forced it, in which
+                    // case some other literal in this clause must already be true —
+                    // except for clauses made entirely of don't-cares. Treat
+                    // unassigned positively to accept such extensions.
+                    true
+                }
         })
     })
 }

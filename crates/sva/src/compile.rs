@@ -83,8 +83,7 @@ impl<'a> PropertyCompiler<'a> {
     /// Creates a compiler for the given design.
     pub fn new(ctx: &'a mut Context, ts: &'a mut TransitionSystem) -> Self {
         // Continue aux numbering after any previously created monitors.
-        let aux_counter =
-            ctx.symbols().filter(|(n, _)| n.starts_with("__sva_p")).count();
+        let aux_counter = ctx.symbols().filter(|(n, _)| n.starts_with("__sva_p")).count();
         PropertyCompiler { ctx, ts, past_cache: HashMap::new(), aux_counter, anon_counter: 0 }
     }
 
@@ -190,6 +189,9 @@ impl<'a> PropertyCompiler<'a> {
         Ok(self.to_bool(x))
     }
 
+    // `to_bool` converts the expression, not `self` — the builder context
+    // just has to be mutable to hash-cons the reduction node.
+    #[allow(clippy::wrong_self_convention)]
     fn to_bool(&mut self, e: ExprRef) -> ExprRef {
         if self.ctx.width_of(e) == 1 {
             e
@@ -242,9 +244,7 @@ impl<'a> PropertyCompiler<'a> {
 
     fn bind(&mut self, e: &Expr, expected: Option<u32>) -> Result<ExprRef, CompileError> {
         match e {
-            Expr::Number { size, base, digits } => {
-                self.bind_number(*size, *base, digits, expected)
-            }
+            Expr::Number { size, base, digits } => self.bind_number(*size, *base, digits, expected),
             Expr::Ident(name) => self.resolve(name),
             Expr::Unary(op, a) => {
                 let x = match op {

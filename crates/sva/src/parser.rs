@@ -14,7 +14,7 @@
 
 use crate::ast::{Assertion, PropBody, SeqStep, Sequence};
 use genfv_hdl::lexer::{lex, Tok, Token};
-use genfv_hdl::parser::{Parser as ExprParser, ParseError};
+use genfv_hdl::parser::{ParseError, Parser as ExprParser};
 use genfv_hdl::Pos;
 
 /// Parses a single assertion from `src`.
@@ -321,19 +321,14 @@ mod tests {
 
     #[test]
     fn paper_listing_2_property() {
-        let a = parse_assertion(
-            "property equal_count;\n  &count1 |-> &count2;\nendproperty",
-        )
-        .unwrap();
+        let a =
+            parse_assertion("property equal_count;\n  &count1 |-> &count2;\nendproperty").unwrap();
         assert_eq!(a.name.as_deref(), Some("equal_count"));
         match &a.body {
             PropBody::Implication { antecedent, overlapping, consequent } => {
                 assert!(*overlapping);
                 assert_eq!(antecedent.steps.len(), 1);
-                assert!(matches!(
-                    antecedent.steps[0].expr,
-                    Expr::Unary(UnaryAstOp::RedAnd, _)
-                ));
+                assert!(matches!(antecedent.steps[0].expr, Expr::Unary(UnaryAstOp::RedAnd, _)));
                 assert_eq!(consequent.steps.len(), 1);
             }
             other => panic!("expected implication, got {other:?}"),
@@ -357,10 +352,9 @@ mod tests {
 
     #[test]
     fn assert_property_with_clocking_and_disable() {
-        let a = parse_assertion(
-            "assert property (@(posedge clk) disable iff (rst) req |=> grant);",
-        )
-        .unwrap();
+        let a =
+            parse_assertion("assert property (@(posedge clk) disable iff (rst) req |=> grant);")
+                .unwrap();
         assert!(a.disable_iff.is_some());
         match a.body {
             PropBody::Implication { overlapping, .. } => assert!(!overlapping),

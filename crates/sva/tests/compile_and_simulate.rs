@@ -139,10 +139,9 @@ fn delayed_sequence_monitor() {
 fn disable_iff_masks_violations() {
     let (mut ctx, mut ts) = counter_design();
     // False invariant, but disabled whenever rst is high.
-    let assertion = parse_assertion(
-        "assert property (@(posedge clk) disable iff (rst) count != 8'd0);",
-    )
-    .unwrap();
+    let assertion =
+        parse_assertion("assert property (@(posedge clk) disable iff (rst) count != 8'd0);")
+            .unwrap();
     let prop = PropertyCompiler::new(&mut ctx, &mut ts).compile(&assertion).unwrap();
 
     let rst = ctx.find_symbol("rst").unwrap();

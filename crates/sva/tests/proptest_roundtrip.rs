@@ -51,19 +51,11 @@ fn build_expr(ops: &[Op]) -> Expr {
     let mut stack: Vec<Expr> = vec![Expr::Ident("count1".to_string())];
     for op in ops {
         match op {
-            Op::Ident(i) => {
-                stack.push(Expr::Ident(names[*i as usize % names.len()].to_string()))
+            Op::Ident(i) => stack.push(Expr::Ident(names[*i as usize % names.len()].to_string())),
+            Op::Num(v) => stack.push(Expr::Number { size: None, base: 'i', digits: v.to_string() }),
+            Op::SizedNum(w, v) => {
+                stack.push(Expr::Number { size: Some(*w as u32), base: 'd', digits: v.to_string() })
             }
-            Op::Num(v) => stack.push(Expr::Number {
-                size: None,
-                base: 'i',
-                digits: v.to_string(),
-            }),
-            Op::SizedNum(w, v) => stack.push(Expr::Number {
-                size: Some(*w as u32),
-                base: 'd',
-                digits: v.to_string(),
-            }),
             Op::Not => {
                 let a = stack.pop().unwrap();
                 stack.push(Expr::Unary(UnaryAstOp::BitNot, Box::new(a)));
@@ -125,11 +117,7 @@ fn build_expr(ops: &[Op]) -> Expr {
                 if matches!(a, Expr::Ident(_)) {
                     stack.push(Expr::Index(
                         Box::new(a),
-                        Box::new(Expr::Number {
-                            size: None,
-                            base: 'i',
-                            digits: i.to_string(),
-                        }),
+                        Box::new(Expr::Number { size: None, base: 'i', digits: i.to_string() }),
                     ));
                 } else {
                     stack.push(a);
@@ -157,17 +145,15 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_seq() -> impl Strategy<Value = Sequence> {
-    (proptest::collection::vec(arb_op(), 0..10), proptest::collection::vec(0u32..4, 0..3))
-        .prop_map(|(ops, delays)| {
+    (proptest::collection::vec(arb_op(), 0..10), proptest::collection::vec(0u32..4, 0..3)).prop_map(
+        |(ops, delays)| {
             let mut steps = vec![SeqStep { delay: 0, expr: build_expr(&ops) }];
             for d in delays {
-                steps.push(SeqStep {
-                    delay: d + 1,
-                    expr: Expr::Ident("req".to_string()),
-                });
+                steps.push(SeqStep { delay: d + 1, expr: Expr::Ident("req".to_string()) });
             }
             Sequence { steps }
-        })
+        },
+    )
 }
 
 fn arb_assertion() -> impl Strategy<Value = Assertion> {

@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .last_step()
         .map(|s| s.values.iter().map(|(k, v)| (k.clone(), format!("{v}"))).collect())
         .unwrap_or_default();
-    let prompt =
-        Prompt::flow2(&design.rtl, &target.sva, &render_waveform(&trace), &final_values);
+    let prompt = Prompt::flow2(&design.rtl, &target.sva, &render_waveform(&trace), &final_values);
     println!("=== Flow-2 prompt (user payload) ===\n{}", prompt.user);
 
     // Ask two different profiles and show the raw completions.

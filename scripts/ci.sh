@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# The repo's full gate set. Tier-1 (enforced): release build + tests.
+# Formatting and clippy are pinned so style drift cannot accumulate, and
+# the incremental-vs-rebuild bench runs in quick mode as an end-to-end
+# differential check (it exits nonzero on any verdict divergence) while
+# refreshing BENCH_incremental.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --lib -- -D warnings
+cargo build --release
+cargo test -q
+cargo run --release -p genfv-bench --bin e8_incremental_sessions -- --quick

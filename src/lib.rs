@@ -47,14 +47,13 @@ pub use genfv_sva as sva;
 /// The items most applications need.
 pub mod prelude {
     pub use genfv_core::{
-        run_baseline, run_flow1, run_flow2, FlowConfig, FlowReport, PreparedDesign,
-        TargetOutcome,
+        run_baseline, run_flow1, run_flow2, FlowConfig, FlowReport, PreparedDesign, TargetOutcome,
     };
     pub use genfv_genai::{LanguageModel, ModelProfile, Prompt, SyntheticLlm};
     pub use genfv_ir::{BitVecValue, Context, Simulator, TransitionSystem};
     pub use genfv_mc::{
-        bmc, render_final_bits, render_waveform, CheckConfig, KInduction, Property,
-        ProveResult, Trace,
+        bmc, render_final_bits, render_waveform, CheckConfig, KInduction, Property, ProveResult,
+        Trace,
     };
     pub use genfv_sva::{parse_assertion, parse_assertions, PropertyCompiler};
 }

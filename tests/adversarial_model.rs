@@ -151,8 +151,7 @@ endmodule
     )
     .unwrap();
     let mut adversary = AdversarialModel { round: 0 };
-    let report =
-        genfv::core::run_flow2(design, &mut adversary, &FlowConfig::default());
+    let report = genfv::core::run_flow2(design, &mut adversary, &FlowConfig::default());
     assert!(
         matches!(report.targets[0].outcome, TargetOutcome::Falsified { .. }),
         "bug must surface: {:?}",

@@ -46,11 +46,7 @@ fn whole_corpus_prepares_and_simulates() {
             sim.step();
         }
         let has_bug = bundle.name == "desync_counters";
-        assert_eq!(
-            violated, has_bug,
-            "{}: simulation-vs-expectation mismatch",
-            bundle.name
-        );
+        assert_eq!(violated, has_bug, "{}: simulation-vs-expectation mismatch", bundle.name);
     }
 }
 
@@ -117,11 +113,8 @@ fn combined_flow_closes_everything_flow2_can() {
     // combined runner must close every lemma-hungry corpus design.
     for bundle in genfv::designs::lemma_hungry_designs() {
         let mut llm = SyntheticLlm::new(ModelProfile::GptFourTurbo, 77);
-        let report = genfv::core::run_combined(
-            bundle.prepare().unwrap(),
-            &mut llm,
-            &FlowConfig::default(),
-        );
+        let report =
+            genfv::core::run_combined(bundle.prepare().unwrap(), &mut llm, &FlowConfig::default());
         assert!(
             report.all_proven(),
             "{}: combined flow must close\n{}",
