@@ -1,0 +1,267 @@
+//! **E9 — portfolio solving**: single-solver incremental sessions versus
+//! portfolio-backed sessions (`genfv-portfolio`).
+//!
+//! Two workloads, both differential (the run **fails** with exit 1 if any
+//! verdict diverges between the modes):
+//!
+//! * **flow** — the complete Flow 2 (validation gauntlet, Houdini, target
+//!   proofs, CEX-driven repair) across designs × model profiles. Its
+//!   queries are mostly light, so the portfolio's probe settles them solo
+//!   and the contest checks that portfolio mode costs ~nothing when there
+//!   is nothing to win.
+//! * **deep induction** — unaided `ProofSession::prove` at `max_k` 16,
+//!   where step queries on the variance-prone designs (FIFO pointer
+//!   obligations, ECC lockstep) run to tens of thousands of conflicts and
+//!   escalate past the probe into ladder races. This is the heavy tail
+//!   the portfolio exists for.
+//!
+//! The portfolio runs the deterministic sequential ladder (2 workers,
+//! probe 2000, epochs from 16k conflicts), so every reported number is
+//! bit-reproducible; see `genfv-portfolio` for the discipline. Results go
+//! to stdout and to `BENCH_portfolio.json` (working directory, or
+//! `$GENFV_BENCH_JSON`): per-cell medians over `--samples` runs (default
+//! 5, `--quick` = 2), race/glue counters, and the aggregate speedup.
+//!
+//! Run with `cargo run --release -p genfv-bench --bin e9_portfolio`.
+
+use genfv_bench::ms;
+use genfv_core::{run_flow2, FlowConfig, FlowReport, Table, TargetOutcome};
+use genfv_genai::{ModelProfile, SyntheticLlm};
+use genfv_mc::{CheckConfig, PortfolioConfig, ProofSession, Property, ProveResult};
+use std::time::{Duration, Instant};
+
+/// Flow-workload designs: the lemma-hungry E8 family.
+const FLOW_DESIGNS: &[&str] =
+    &["sync_counters_16", "parity_pipe", "hamming74", "ecc_counter", "fifo_counters"];
+
+const MODELS: &[ModelProfile] = &[ModelProfile::GptFourTurbo, ModelProfile::LlamaThree];
+
+/// Deep-induction designs: heavy unaided step queries (fifo, ecc) plus
+/// cheap ones as an overhead floor.
+const DEEP_DESIGNS: &[&str] =
+    &["fifo_counters", "ecc_counter", "secded84", "div_checker", "gray_counter"];
+
+/// The raced contestant's portfolio: two workers on the deterministic
+/// sequential ladder. Calibrated on this corpus — the probe keeps light
+/// queries race-free, the 16k first epoch keeps ladder overshoot small
+/// relative to the heavy tails it rescues.
+fn portfolio_config() -> PortfolioConfig {
+    PortfolioConfig {
+        workers: 2,
+        probe_conflicts: Some(2000),
+        epoch_start: 16000,
+        adopt_winner: false,
+        ..PortfolioConfig::default()
+    }
+}
+
+fn verdict_class(outcome: &TargetOutcome) -> &'static str {
+    match outcome {
+        TargetOutcome::Proven { .. } => "proven",
+        TargetOutcome::Falsified { .. } => "falsified",
+        TargetOutcome::StillUnproven { .. } => "still_unproven",
+        TargetOutcome::Unknown { .. } => "unknown",
+    }
+}
+
+fn flow_verdicts(report: &FlowReport) -> Vec<(String, &'static str)> {
+    report.targets.iter().map(|t| (t.name.clone(), verdict_class(&t.outcome))).collect()
+}
+
+fn prove_verdict(res: &ProveResult) -> String {
+    match res {
+        ProveResult::Proven { k, .. } => format!("proven@{k}"),
+        ProveResult::Falsified { at, .. } => format!("falsified@{at}"),
+        ProveResult::StepFailure { k, .. } => format!("step_failure@{k}"),
+        ProveResult::Unknown { .. } => "unknown".to_string(),
+    }
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Cell {
+    section: &'static str,
+    model: String,
+    design: String,
+    single: Duration,
+    portfolio: Duration,
+    races: u64,
+    glue: u64,
+    agree: bool,
+}
+
+fn run_flow_cell(name: &str, model: ModelProfile, samples: usize) -> Cell {
+    let bundle = genfv_designs::by_name(name).expect("benchmark design exists");
+    let base = FlowConfig {
+        check: CheckConfig { max_k: 6, ..Default::default() },
+        max_iterations: 4,
+        ..Default::default()
+    };
+    let mut single_times = Vec::new();
+    let mut portfolio_times = Vec::new();
+    let mut single_verdicts = Vec::new();
+    let mut portfolio_verdicts = Vec::new();
+    let mut races = 0;
+    let mut glue = 0;
+    for _ in 0..samples {
+        let mut llm = SyntheticLlm::new(model, 42);
+        let t0 = Instant::now();
+        let report = run_flow2(bundle.prepare().expect("prepare"), &mut llm, &base);
+        single_times.push(t0.elapsed());
+        single_verdicts = flow_verdicts(&report);
+
+        let config = base.clone().with_portfolio(portfolio_config());
+        let mut llm = SyntheticLlm::new(model, 42);
+        let t0 = Instant::now();
+        let report = run_flow2(bundle.prepare().expect("prepare"), &mut llm, &config);
+        portfolio_times.push(t0.elapsed());
+        portfolio_verdicts = flow_verdicts(&report);
+        races = report.metrics.solver.portfolio_races;
+        glue = report.metrics.solver.portfolio_glue_shared;
+    }
+    Cell {
+        section: "flow",
+        model: model.name().to_string(),
+        design: name.to_string(),
+        single: median(&mut single_times),
+        portfolio: median(&mut portfolio_times),
+        races,
+        glue,
+        agree: single_verdicts == portfolio_verdicts,
+    }
+}
+
+fn run_deep_cell(name: &str, samples: usize) -> Cell {
+    let bundle = genfv_designs::by_name(name).expect("benchmark design exists");
+    let design = bundle.prepare().expect("prepare");
+    let props: Vec<Property> =
+        design.targets.iter().map(|t| Property::new(t.name.clone(), t.prop.ok)).collect();
+    let single_cfg = CheckConfig { max_k: 16, ..Default::default() };
+    let raced_cfg = CheckConfig { portfolio: Some(portfolio_config()), ..single_cfg.clone() };
+
+    let mut single_times = Vec::new();
+    let mut portfolio_times = Vec::new();
+    let mut single_verdicts = Vec::new();
+    let mut portfolio_verdicts = Vec::new();
+    let mut races = 0;
+    let mut glue = 0;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let mut s = ProofSession::new(&design.ctx, &design.ts, single_cfg.clone());
+        single_verdicts = props.iter().map(|p| prove_verdict(&s.prove(p))).collect::<Vec<_>>();
+        single_times.push(t0.elapsed());
+
+        let t0 = Instant::now();
+        let mut s = ProofSession::new(&design.ctx, &design.ts, raced_cfg.clone());
+        portfolio_verdicts = props.iter().map(|p| prove_verdict(&s.prove(p))).collect::<Vec<_>>();
+        portfolio_times.push(t0.elapsed());
+        races = s.stats().portfolio_races;
+        glue = s.stats().portfolio_glue_shared;
+    }
+    Cell {
+        section: "deep",
+        model: "-".to_string(),
+        design: name.to_string(),
+        single: median(&mut single_times),
+        portfolio: median(&mut portfolio_times),
+        races,
+        glue,
+        agree: single_verdicts == portfolio_verdicts,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick { 2 } else { 5 })
+        .max(1);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &model in MODELS {
+        for name in FLOW_DESIGNS {
+            cells.push(run_flow_cell(name, model, samples));
+        }
+    }
+    for name in DEEP_DESIGNS {
+        cells.push(run_deep_cell(name, samples));
+    }
+
+    let mut table = Table::new([
+        "section",
+        "model",
+        "design",
+        "single (median)",
+        "portfolio (median)",
+        "speedup",
+        "races",
+        "glue",
+        "verdicts",
+    ]);
+    let mut json_rows = Vec::new();
+    let mut total_single = Duration::ZERO;
+    let mut total_portfolio = Duration::ZERO;
+    let mut divergent = false;
+    for c in &cells {
+        total_single += c.single;
+        total_portfolio += c.portfolio;
+        let speedup = c.single.as_secs_f64() / c.portfolio.as_secs_f64().max(1e-9);
+        divergent |= !c.agree;
+        table.row([
+            c.section.to_string(),
+            c.model.clone(),
+            c.design.clone(),
+            ms(c.single),
+            ms(c.portfolio),
+            format!("{speedup:.2}x"),
+            c.races.to_string(),
+            c.glue.to_string(),
+            if c.agree { "identical".to_string() } else { "DIVERGED".to_string() },
+        ]);
+        json_rows.push(format!(
+            "    {{\"section\": \"{}\", \"model\": \"{}\", \"design\": \"{}\", \
+             \"single_ms\": {:.3}, \"portfolio_ms\": {:.3}, \"speedup\": {speedup:.3}, \
+             \"races\": {}, \"glue_shared\": {}, \"verdicts_identical\": {}}}",
+            c.section,
+            c.model,
+            c.design,
+            c.single.as_secs_f64() * 1e3,
+            c.portfolio.as_secs_f64() * 1e3,
+            c.races,
+            c.glue,
+            c.agree,
+        ));
+    }
+
+    let overall = total_single.as_secs_f64() / total_portfolio.as_secs_f64().max(1e-9);
+    println!("E9: incremental sessions — single solver vs portfolio racing\n");
+    println!("{}", table.render());
+    println!(
+        "\noverall: single {} vs portfolio {} → {overall:.2}x ({samples} samples/cell)",
+        ms(total_single),
+        ms(total_portfolio)
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e9_portfolio\",\n  \"samples\": {samples},\n  \
+         \"workers\": {},\n  \"overall_speedup\": {overall:.3},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        portfolio_config().workers,
+        json_rows.join(",\n")
+    );
+    let path =
+        std::env::var("GENFV_BENCH_JSON").unwrap_or_else(|_| "BENCH_portfolio.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+
+    if divergent {
+        eprintln!("FAIL: verdicts diverged between single-solver and portfolio sessions");
+        std::process::exit(1);
+    }
+}

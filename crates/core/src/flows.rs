@@ -10,13 +10,13 @@
 //! Both flows record a full [`FlowMetrics`] (LLM calls, token counts,
 //! candidate fates, proof effort) and an event log for human inspection.
 
-use crate::design::PreparedDesign;
+use crate::design::{PreparedDesign, Target};
 use crate::houdini::validate_batch_with_stats;
 use crate::validate::{install_lemma, Candidate, Lemma, ValidateConfig, ValidationOutcome};
 use genfv_genai::{LanguageModel, Prompt};
 use genfv_mc::{
-    prove_rebuild, render_waveform, CheckConfig, EngineMode, ProofSession, Property, ProveResult,
-    SessionStats, Trace,
+    prove_rebuild, render_waveform, CheckConfig, EngineMode, PortfolioConfig, ProofSession,
+    ProveResult, SessionStats, Trace,
 };
 use genfv_sva::parse_assertions;
 use std::collections::BTreeMap;
@@ -163,36 +163,14 @@ impl FlowConfig {
     pub fn engine(&self) -> EngineMode {
         self.validate.engine
     }
-}
 
-/// One target proof under the configured engine: a throwaway
-/// [`ProofSession`] in incremental mode (the caller passes a persistent
-/// one where the design is stable), fresh unrollers in rebuild mode.
-fn prove_target(
-    design: &PreparedDesign,
-    lemma_exprs: &[genfv_ir::ExprRef],
-    prop: &Property,
-    config: &FlowConfig,
-    metrics: &mut FlowMetrics,
-) -> ProveResult {
-    match config.engine() {
-        EngineMode::Incremental => {
-            // A repair iteration may install lemmas (mutating the design),
-            // so the session lives per attempt; the attempt's base and
-            // step cases still share its one bit-blast. (A known
-            // refinement: iterations that installed nothing leave the
-            // design untouched and could reuse the previous session, but
-            // the borrow of `design` across `ingest_candidates` makes that
-            // a larger restructuring — see ROADMAP open items.)
-            let mut session = ProofSession::new(&design.ctx, &design.ts, config.check.clone());
-            session.add_lemmas(lemma_exprs);
-            let res = session.prove(prop);
-            metrics.solver.absorb(session.stats());
-            res
-        }
-        EngineMode::RebuildPerQuery => {
-            prove_rebuild(&design.ctx, &design.ts, prop, lemma_exprs, &config.check)
-        }
+    /// This configuration with every incremental-session query — candidate
+    /// validation, Houdini, and target proofs — answered by portfolio
+    /// racing over the given configuration (see `genfv-portfolio`).
+    pub fn with_portfolio(mut self, portfolio: PortfolioConfig) -> Self {
+        self.validate.check.portfolio = Some(portfolio.clone());
+        self.check.portfolio = Some(portfolio);
+        self
     }
 }
 
@@ -221,14 +199,19 @@ fn unparseable_regions(text: &str, parsed: usize) -> usize {
     mentions.saturating_sub(parsed).min(mentions)
 }
 
-fn ingest_candidates(
-    design: &mut PreparedDesign,
-    lemmas: &mut Vec<Lemma>,
+/// Runs the validation gauntlet over a candidate batch against the
+/// (immutable) design: records rejection metrics/events and returns the
+/// indices of accepted candidates for [`install_accepted`]. Split from
+/// installation so repair loops can keep a live [`ProofSession`] — which
+/// borrows the design — across iterations that end up installing nothing.
+fn evaluate_candidates(
+    design: &PreparedDesign,
+    lemmas: &[Lemma],
     candidates: &[Candidate],
     config: &FlowConfig,
     metrics: &mut FlowMetrics,
     events: &mut Vec<String>,
-) {
+) -> Vec<usize> {
     let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
     let t0 = Instant::now();
     let (accepted, outcomes, solver_stats) = validate_batch_with_stats(
@@ -264,7 +247,20 @@ fn ingest_candidates(
             _ => {}
         }
     }
-    for &i in &accepted {
+    accepted
+}
+
+/// Compiles the accepted candidates onto the main design (mutating it)
+/// and appends the resulting lemmas.
+fn install_accepted(
+    design: &mut PreparedDesign,
+    lemmas: &mut Vec<Lemma>,
+    candidates: &[Candidate],
+    accepted: &[usize],
+    metrics: &mut FlowMetrics,
+    events: &mut Vec<String>,
+) {
+    for &i in accepted {
         match install_lemma(design, &candidates[i]) {
             Ok(lemma) => {
                 events.push(format!("  ✓ {}: proven, installed as lemma", lemma.name));
@@ -272,6 +268,146 @@ fn ingest_candidates(
                 lemmas.push(lemma);
             }
             Err(e) => events.push(format!("  ! {}: install failed: {e}", candidates[i].name)),
+        }
+    }
+}
+
+fn ingest_candidates(
+    design: &mut PreparedDesign,
+    lemmas: &mut Vec<Lemma>,
+    candidates: &[Candidate],
+    config: &FlowConfig,
+    metrics: &mut FlowMetrics,
+    events: &mut Vec<String>,
+) {
+    let accepted = evaluate_candidates(design, lemmas, candidates, config, metrics, events);
+    install_accepted(design, lemmas, candidates, &accepted, metrics, events);
+}
+
+/// Folds a dying session's reuse counters into the flow metrics.
+fn absorb_session(metrics: &mut FlowMetrics, session: &Option<ProofSession<'_>>) {
+    if let Some(s) = session {
+        metrics.solver.absorb(s.stats());
+    }
+}
+
+/// The CEX-driven repair loop for one target (paper Fig. 2), shared by
+/// [`run_flow2`] and [`run_combined`].
+///
+/// In incremental mode one [`ProofSession`] serves every proof attempt
+/// under a given lemma set; it is torn down only when a repair iteration
+/// actually installs a lemma, which mutates the design and therefore
+/// invalidates the session's borrow. Iterations that install nothing keep
+/// the session *and* its last step-failure verdict: re-proving an
+/// unchanged obligation set on a fresh session provably returns the
+/// identical result (the solver is deterministic and the inputs are
+/// unchanged), so the redundant rebuild-plus-re-prove the old
+/// per-attempt architecture paid is skipped outright.
+#[allow(clippy::too_many_arguments)]
+fn repair_target(
+    design: &mut PreparedDesign,
+    lemmas: &mut Vec<Lemma>,
+    target: &Target,
+    llm: &mut dyn LanguageModel,
+    config: &FlowConfig,
+    metrics: &mut FlowMetrics,
+    events: &mut Vec<String>,
+    tag: &str,
+) -> TargetOutcome {
+    let mut iteration = 0usize;
+    'attempts: loop {
+        let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
+        let mut session = (config.engine() == EngineMode::Incremental).then(|| {
+            let mut s = ProofSession::new(&design.ctx, &design.ts, config.check.clone());
+            s.add_lemmas(&lemma_exprs);
+            s
+        });
+        let t0 = Instant::now();
+        let mut res = match session.as_mut() {
+            Some(s) => s.prove(&target.prop),
+            None => {
+                prove_rebuild(&design.ctx, &design.ts, &target.prop, &lemma_exprs, &config.check)
+            }
+        };
+        metrics.proof_time += t0.elapsed();
+        loop {
+            match res {
+                ProveResult::Proven { k, .. } => {
+                    events.push(format!(
+                        "[{tag}] `{}` proven at k={k} after {iteration} repair iteration(s) \
+                         ({} lemmas)",
+                        target.name,
+                        lemma_exprs.len()
+                    ));
+                    absorb_session(metrics, &session);
+                    return TargetOutcome::Proven { k, lemmas_used: lemma_exprs.len() };
+                }
+                ProveResult::Falsified { at, .. } => {
+                    events.push(format!("[{tag}] `{}` falsified at cycle {at}", target.name));
+                    absorb_session(metrics, &session);
+                    return TargetOutcome::Falsified { at };
+                }
+                ProveResult::Unknown { reason, .. } => {
+                    absorb_session(metrics, &session);
+                    return TargetOutcome::Unknown { reason };
+                }
+                ProveResult::StepFailure { k, trace, stats } => {
+                    if iteration == config.max_iterations {
+                        events.push(format!(
+                            "[{tag}] `{}` exhausted {} iterations, still failing at k={k}",
+                            target.name, config.max_iterations
+                        ));
+                        absorb_session(metrics, &session);
+                        return TargetOutcome::StillUnproven { k, trace: Box::new(trace) };
+                    }
+                    iteration += 1;
+                    metrics.iterations += 1;
+                    events.push(format!(
+                        "[{tag}] `{}` induction step failed at k={k}; consulting {}",
+                        target.name,
+                        llm.name()
+                    ));
+                    // Render the CEX into the prompt (paper Fig. 2 inputs).
+                    let waveform = render_waveform(&trace);
+                    let final_values: BTreeMap<String, String> = trace
+                        .last_step()
+                        .map(|s| {
+                            s.values.iter().map(|(k, v)| (k.clone(), format!("{v}"))).collect()
+                        })
+                        .unwrap_or_default();
+                    let prompt = Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
+                    let completion = llm.complete(&prompt);
+                    metrics.llm_calls += 1;
+                    metrics.prompt_tokens += completion.prompt_tokens;
+                    metrics.completion_tokens += completion.completion_tokens;
+                    metrics.llm_latency += completion.latency;
+
+                    let candidates = candidates_from_completion(&completion.text);
+                    metrics.candidates_parsed += candidates.len();
+                    metrics.candidates_unparseable +=
+                        unparseable_regions(&completion.text, candidates.len());
+                    events.push(format!(
+                        "[{tag}]   {} candidates parsed from completion",
+                        candidates.len()
+                    ));
+                    let accepted =
+                        evaluate_candidates(design, lemmas, &candidates, config, metrics, events);
+                    if accepted.is_empty() {
+                        events.push(format!(
+                            "[{tag}]   no new lemmas accepted in iteration {iteration}; keeping \
+                             the session and its counterexample"
+                        ));
+                        // Unchanged lemma set ⇒ identical re-prove; keep the
+                        // session and reuse the verdict instead of paying it.
+                        res = ProveResult::StepFailure { k, trace, stats };
+                        continue;
+                    }
+                    absorb_session(metrics, &session);
+                    drop(session);
+                    install_accepted(design, lemmas, &candidates, &accepted, metrics, events);
+                    continue 'attempts;
+                }
+            }
         }
     }
 }
@@ -374,90 +510,17 @@ pub fn run_flow2(
 
     let targets = design.targets.clone();
     for target in &targets {
-        let mut outcome = None;
-        for iteration in 0..=config.max_iterations {
-            let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
-            let t0 = Instant::now();
-            let res = prove_target(&design, &lemma_exprs, &target.prop, config, &mut metrics);
-            metrics.proof_time += t0.elapsed();
-            match res {
-                ProveResult::Proven { k, .. } => {
-                    events.push(format!(
-                        "[flow2] `{}` proven at k={k} after {iteration} repair iteration(s)",
-                        target.name
-                    ));
-                    outcome = Some(TargetOutcome::Proven { k, lemmas_used: lemma_exprs.len() });
-                    break;
-                }
-                ProveResult::Falsified { at, .. } => {
-                    events.push(format!("[flow2] `{}` falsified at cycle {at}", target.name));
-                    outcome = Some(TargetOutcome::Falsified { at });
-                    break;
-                }
-                ProveResult::Unknown { reason, .. } => {
-                    outcome = Some(TargetOutcome::Unknown { reason });
-                    break;
-                }
-                ProveResult::StepFailure { k, trace, .. } => {
-                    if iteration == config.max_iterations {
-                        events.push(format!(
-                            "[flow2] `{}` exhausted {} iterations, still failing at k={k}",
-                            target.name, config.max_iterations
-                        ));
-                        outcome = Some(TargetOutcome::StillUnproven { k, trace: Box::new(trace) });
-                        break;
-                    }
-                    metrics.iterations += 1;
-                    events.push(format!(
-                        "[flow2] `{}` induction step failed at k={k}; consulting {}",
-                        target.name,
-                        llm.name()
-                    ));
-                    // Render the CEX into the prompt (paper Fig. 2 inputs).
-                    let waveform = render_waveform(&trace);
-                    let final_values: BTreeMap<String, String> = trace
-                        .last_step()
-                        .map(|s| {
-                            s.values.iter().map(|(k, v)| (k.clone(), format!("{v}"))).collect()
-                        })
-                        .unwrap_or_default();
-                    let prompt = Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
-                    let completion = llm.complete(&prompt);
-                    metrics.llm_calls += 1;
-                    metrics.prompt_tokens += completion.prompt_tokens;
-                    metrics.completion_tokens += completion.completion_tokens;
-                    metrics.llm_latency += completion.latency;
-
-                    let candidates = candidates_from_completion(&completion.text);
-                    metrics.candidates_parsed += candidates.len();
-                    metrics.candidates_unparseable +=
-                        unparseable_regions(&completion.text, candidates.len());
-                    events.push(format!(
-                        "[flow2]   {} candidates parsed from completion",
-                        candidates.len()
-                    ));
-                    let before = lemmas.len();
-                    ingest_candidates(
-                        &mut design,
-                        &mut lemmas,
-                        &candidates,
-                        config,
-                        &mut metrics,
-                        &mut events,
-                    );
-                    if lemmas.len() == before {
-                        events.push(format!(
-                            "[flow2]   no new lemmas accepted in iteration {iteration}; retrying"
-                        ));
-                    }
-                }
-            }
-        }
-        target_reports.push(TargetReport {
-            name: target.name.clone(),
-            outcome: outcome
-                .unwrap_or(TargetOutcome::Unknown { reason: "no iterations executed".to_string() }),
-        });
+        let outcome = repair_target(
+            &mut design,
+            &mut lemmas,
+            target,
+            llm,
+            config,
+            &mut metrics,
+            &mut events,
+            "flow2",
+        );
+        target_reports.push(TargetReport { name: target.name.clone(), outcome });
     }
 
     metrics.total_time = start.elapsed();
@@ -550,75 +613,17 @@ pub fn run_combined(
     let mut target_reports = Vec::new();
     let targets = design.targets.clone();
     for target in &targets {
-        let mut outcome = None;
-        for iteration in 0..=config.max_iterations {
-            let lemma_exprs: Vec<_> = lemmas.iter().map(|l| l.expr).collect();
-            let t0 = Instant::now();
-            let res = prove_target(&design, &lemma_exprs, &target.prop, config, &mut metrics);
-            metrics.proof_time += t0.elapsed();
-            match res {
-                ProveResult::Proven { k, .. } => {
-                    events.push(format!(
-                        "[combined] `{}` proven at k={k} ({} lemmas, {iteration} repair \
-                         iterations)",
-                        target.name,
-                        lemma_exprs.len()
-                    ));
-                    outcome = Some(TargetOutcome::Proven { k, lemmas_used: lemma_exprs.len() });
-                    break;
-                }
-                ProveResult::Falsified { at, .. } => {
-                    outcome = Some(TargetOutcome::Falsified { at });
-                    break;
-                }
-                ProveResult::Unknown { reason, .. } => {
-                    outcome = Some(TargetOutcome::Unknown { reason });
-                    break;
-                }
-                ProveResult::StepFailure { k, trace, .. } => {
-                    if iteration == config.max_iterations {
-                        outcome = Some(TargetOutcome::StillUnproven { k, trace: Box::new(trace) });
-                        break;
-                    }
-                    metrics.iterations += 1;
-                    events.push(format!(
-                        "[combined] `{}` still fails at k={k}; flow-2 repair with {}",
-                        target.name,
-                        llm.name()
-                    ));
-                    let waveform = render_waveform(&trace);
-                    let final_values: BTreeMap<String, String> = trace
-                        .last_step()
-                        .map(|s| {
-                            s.values.iter().map(|(k, v)| (k.clone(), format!("{v}"))).collect()
-                        })
-                        .unwrap_or_default();
-                    let prompt = Prompt::flow2(&design.rtl, &target.sva, &waveform, &final_values);
-                    let completion = llm.complete(&prompt);
-                    metrics.llm_calls += 1;
-                    metrics.prompt_tokens += completion.prompt_tokens;
-                    metrics.completion_tokens += completion.completion_tokens;
-                    metrics.llm_latency += completion.latency;
-                    let candidates = candidates_from_completion(&completion.text);
-                    metrics.candidates_parsed += candidates.len();
-                    metrics.candidates_unparseable +=
-                        unparseable_regions(&completion.text, candidates.len());
-                    ingest_candidates(
-                        &mut design,
-                        &mut lemmas,
-                        &candidates,
-                        config,
-                        &mut metrics,
-                        &mut events,
-                    );
-                }
-            }
-        }
-        target_reports.push(TargetReport {
-            name: target.name.clone(),
-            outcome: outcome
-                .unwrap_or(TargetOutcome::Unknown { reason: "no iterations executed".to_string() }),
-        });
+        let outcome = repair_target(
+            &mut design,
+            &mut lemmas,
+            target,
+            llm,
+            config,
+            &mut metrics,
+            &mut events,
+            "combined",
+        );
+        target_reports.push(TargetReport { name: target.name.clone(), outcome });
     }
 
     metrics.total_time = start.elapsed();

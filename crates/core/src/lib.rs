@@ -37,6 +37,14 @@
 //! without re-bit-blasting. Solver-reuse counters surface in
 //! [`FlowMetrics::solver`].
 //!
+//! **Portfolio solving and corpus sharding.** Any session query can be
+//! answered by racing jittered solver configurations on clones of the
+//! loaded clause database ([`FlowConfig::with_portfolio`], implemented in
+//! `genfv-portfolio` and benchmarked by `e9_portfolio`), and whole design
+//! corpora distribute over worker threads with [`run_corpus`] — each job
+//! keeping the long-lived sessions the flows already use, with reports
+//! stitched back in submission order independent of scheduling.
+//!
 //! ```no_run
 //! use genfv_core::{PreparedDesign, run_flow2, FlowConfig};
 //! use genfv_genai::{SyntheticLlm, ModelProfile};
@@ -62,6 +70,7 @@ pub mod flows;
 pub mod houdini;
 pub mod parallel;
 pub mod report;
+pub mod shard;
 pub mod validate;
 
 pub use design::{PrepareError, PreparedDesign, Target};
@@ -72,6 +81,7 @@ pub use flows::{
 pub use houdini::{houdini, validate_batch, HoudiniResult};
 pub use parallel::validate_parallel;
 pub use report::{render_events, render_report, summarize_targets, Table};
+pub use shard::{run_corpus, CorpusConfig, CorpusMode};
 pub use validate::{
     install_lemma, validate_candidate, Candidate, Lemma, ValidateConfig, ValidationOutcome,
 };

@@ -824,8 +824,7 @@ endmodule
 
     #[test]
     fn unparseable_rtl_is_an_error() {
-        let mut s = PromptSections::default();
-        s.rtl = Some("module broken ((".to_string());
+        let s = PromptSections { rtl: Some("module broken ((".to_string()), ..Default::default() };
         assert!(mine(&s, &MinerConfig::default()).is_err());
     }
 

@@ -181,7 +181,8 @@ endmodule
     let mut sim = Simulator::new(&ctx, &ts);
     sim.set(d, BitVecValue::from_u64(0b1011_0001, 8));
     assert_eq!(sim.peek(p).to_u64(), Some(0), "even number of ones");
-    assert_eq!(sim.peek(coded).to_u64(), Some(0b1011_0001_0));
+    // coded = {d, parity}: the data byte shifted left with parity appended.
+    assert_eq!(sim.peek(coded).to_u64(), Some(0b1011_0001 << 1));
     sim.set(d, BitVecValue::from_u64(0b1011_0011, 8));
     assert_eq!(sim.peek(p).to_u64(), Some(1));
 }

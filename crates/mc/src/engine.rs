@@ -136,13 +136,20 @@ pub struct CheckConfig {
     /// k-induction complete for finite systems but is quadratic; the
     /// paper's flow instead strengthens with lemmas, so default off).
     pub simple_path: bool,
-    /// Conflict budget per solver query (`None` = unlimited).
+    /// Conflict budget per solver query (`None` = unlimited; in portfolio
+    /// mode the budget caps each racing worker).
     pub conflict_budget: Option<u64>,
+    /// When set, every session query is answered by portfolio racing:
+    /// the loaded clause database is cloned across jittered worker
+    /// configurations and the first winner's solver replaces the
+    /// session's (see [`genfv_portfolio`]). `None` (the default) keeps
+    /// the plain single-solver discipline.
+    pub portfolio: Option<genfv_portfolio::PortfolioConfig>,
 }
 
 impl Default for CheckConfig {
     fn default() -> Self {
-        CheckConfig { max_k: 10, simple_path: false, conflict_budget: None }
+        CheckConfig { max_k: 10, simple_path: false, conflict_budget: None, portfolio: None }
     }
 }
 

@@ -17,6 +17,13 @@
 //!   frames and learnt clauses survive across candidates, Houdini
 //!   rounds, and targets, and retracting a hypothesis is one unit clause
 //!   (see [`session`] for the soundness argument);
+//! * **portfolio-backed queries** ([`CheckConfig::portfolio`]) — any
+//!   session query can be answered by racing jittered solver
+//!   configurations on clones of the loaded clause database
+//!   (`genfv-portfolio`): a solo probe settles easy queries at zero
+//!   overhead, the variance-prone tail escalates to a deterministic
+//!   first-winner race, and the winner's solver (with the losers' shared
+//!   glue clauses) becomes the session's solver for the next query;
 //! * **a rebuild-per-query reference engine** ([`rebuild`],
 //!   [`EngineMode`]) — the pre-session architecture preserved verbatim
 //!   for differential testing and the `BENCH_incremental.json` benchmark;
@@ -61,6 +68,7 @@ pub mod unroll;
 pub mod wave;
 
 pub use engine::{bmc, BmcResult, CheckConfig, CheckStats, KInduction, Property, ProveResult};
+pub use genfv_portfolio::{Portfolio, PortfolioConfig, RaceOutcome, WorkerStats};
 pub use rebuild::{bmc_rebuild, prove_all_rebuild, prove_rebuild, EngineMode};
 pub use session::{ProofSession, SessionStats};
 pub use trace::{read_symbol_cycles, Trace, TraceKind, TraceStep};

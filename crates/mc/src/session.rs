@@ -93,6 +93,10 @@ pub struct SessionStats {
     pub decisions: u64,
     /// Total propagations across all queries.
     pub propagations: u64,
+    /// Queries escalated to a portfolio race (past the solo probe).
+    pub portfolio_races: u64,
+    /// Glue clauses imported from losing portfolio workers.
+    pub portfolio_glue_shared: u64,
 }
 
 impl SessionStats {
@@ -116,6 +120,8 @@ impl SessionStats {
         self.conflicts += other.conflicts;
         self.decisions += other.decisions;
         self.propagations += other.propagations;
+        self.portfolio_races += other.portfolio_races;
+        self.portfolio_glue_shared += other.portfolio_glue_shared;
     }
 }
 
@@ -168,6 +174,11 @@ pub struct ProofSession<'c> {
     /// Selector allocator/bookkeeper for the step solver (hypotheses,
     /// violation witnesses); lives in `genfv-sat`.
     selectors: ActivationGroup,
+    /// Solver effort of the most recent query: `(conflicts, decisions,
+    /// propagations)`. In portfolio mode this is the winning worker's
+    /// race-wide effort (probe and every epoch included), which the
+    /// winner solver's own `last_*` counters undercount.
+    last_effort: (u64, u64, u64),
     stats: SessionStats,
 }
 
@@ -189,6 +200,7 @@ impl<'c> ProofSession<'c> {
             sp_guard: None,
             sp_frames: 0,
             selectors: ActivationGroup::new(),
+            last_effort: (0, 0, 0),
             stats: SessionStats { bitblasts: 1, ..Default::default() },
         }
     }
@@ -332,16 +344,46 @@ impl<'c> ProofSession<'c> {
             let g = self.un(dir).frame_guard(frame).expect("session unroller is guarded");
             assumptions.push(g);
         }
-        if let Some(b) = self.config.conflict_budget {
-            self.un(dir).blaster_mut().solver_mut().set_conflict_budget(b);
-        }
-        let result = self.un(dir).blaster_mut().solve_with_assumptions(&assumptions);
+        let result = match self.config.portfolio.clone() {
+            Some(pcfg) => {
+                // Portfolio-backed query: the direction's loaded solver is
+                // cloned across jittered worker configurations and the
+                // winner (with the losers' shared glue) takes its place.
+                // The selector/assumption discipline makes the query
+                // self-contained, so no re-bit-blast is ever needed.
+                let budget = self.config.conflict_budget;
+                let portfolio = genfv_portfolio::Portfolio::new(pcfg);
+                let out =
+                    portfolio.race(self.un(dir).blaster_mut().solver_mut(), &assumptions, budget);
+                if out.raced {
+                    self.stats.portfolio_races += 1;
+                    self.stats.portfolio_glue_shared += out.glue_imported as u64;
+                }
+                self.last_effort =
+                    (out.winner.conflicts, out.winner.decisions, out.winner.propagations);
+                out.result
+            }
+            None => {
+                if let Some(b) = self.config.conflict_budget {
+                    self.un(dir).blaster_mut().solver_mut().set_conflict_budget(b);
+                }
+                let result = self.un(dir).blaster_mut().solve_with_assumptions(&assumptions);
+                let s = self.un(dir).blaster().solver().stats();
+                self.last_effort = (s.last_conflicts, s.last_decisions, s.last_propagations);
+                result
+            }
+        };
         let clauses =
             self.base.blaster().solver().num_clauses() + self.step.blaster().solver().num_clauses();
-        let solver = self.un(dir).blaster().solver();
-        let s = solver.stats();
-        let last = (s.last_conflicts, s.last_decisions, s.last_propagations);
-        let core = if result.is_unsat() { solver.last_core().len() as u64 } else { 0 };
+        let core = {
+            let solver = self.un(dir).blaster().solver();
+            if result.is_unsat() {
+                solver.last_core().len() as u64
+            } else {
+                0
+            }
+        };
+        let last = self.last_effort;
         self.stats.solver_calls += 1;
         if self.stats.solver_calls > 1 {
             self.stats.rebuilds_avoided += 1;
@@ -387,11 +429,11 @@ impl<'c> ProofSession<'c> {
         Trace::from_symbol_cycles(self.ctx, self.ts, name, kind, &cycles)
     }
 
-    fn drain_check_stats(&mut self, dir: Dir, stats: &mut CheckStats) {
-        let s = self.un(dir).blaster().solver().stats();
-        stats.conflicts += s.last_conflicts;
-        stats.decisions += s.last_decisions;
-        stats.propagations += s.last_propagations;
+    fn drain_check_stats(&mut self, _dir: Dir, stats: &mut CheckStats) {
+        let (conflicts, decisions, propagations) = self.last_effort;
+        stats.conflicts += conflicts;
+        stats.decisions += decisions;
+        stats.propagations += propagations;
         stats.solver_calls += 1;
     }
 
@@ -681,6 +723,38 @@ mod tests {
         // Frame 3 created after the lemma was installed: 0..3 all carry it,
         // and count < 4 at frame 0 cannot reach 8 by frame 3 anyway.
         assert!(s.solve_under(false, 3, &[!l3]).is_unsat());
+    }
+
+    #[test]
+    fn portfolio_backed_session_matches_single_solver() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let five = ctx.constant(5, 4);
+        let lt5 = ctx.ult(c, five);
+        let eventually_false = Property::new("lt5", lt5);
+        let cc = ctx.eq(c, c);
+        let tauto = Property::new("tauto", cc);
+
+        let portfolio = genfv_portfolio::PortfolioConfig {
+            workers: 3,
+            probe_conflicts: Some(1), // force races even on a toy design
+            epoch_start: 64,
+            ..Default::default()
+        };
+        let config = CheckConfig { portfolio: Some(portfolio), ..CheckConfig::default() };
+        let mut raced = ProofSession::new(&ctx, &ts, config);
+        let mut solo = ProofSession::new(&ctx, &ts, CheckConfig::default());
+
+        assert!(raced.prove(&tauto).is_proven());
+        assert!(solo.prove(&tauto).is_proven());
+        match (raced.bmc_check(&eventually_false, 8), solo.bmc_check(&eventually_false, 8)) {
+            (BmcResult::Falsified { at: a, .. }, BmcResult::Falsified { at: b, .. }) => {
+                assert_eq!(a, b, "portfolio and single-solver must find the same cycle");
+            }
+            other => panic!("expected falsification from both: {other:?}"),
+        }
+        assert_eq!(raced.stats().bitblasts, 1, "racing must not re-bit-blast");
     }
 
     #[test]

@@ -203,6 +203,14 @@ impl ClauseDb {
     pub fn capacity_slots(&self) -> usize {
         self.clauses.len()
     }
+
+    /// Iterates over live learnt clauses allocated at or after slot
+    /// `mark` (a value previously read from [`ClauseDb::capacity_slots`]).
+    /// The portfolio uses this to harvest exactly the clauses a worker
+    /// learnt during one race.
+    pub fn learnt_since(&self, mark: usize) -> impl Iterator<Item = &Clause> {
+        self.clauses.iter().skip(mark).filter(|c| c.learnt && !c.deleted)
+    }
 }
 
 #[cfg(test)]

@@ -51,5 +51,5 @@ pub mod tseitin;
 pub use assume::ActivationGroup;
 pub use clause::{Clause, ClauseRef};
 pub use lit::{Lit, Var};
-pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{RestartPolicy, SolveResult, Solver, SolverConfig, SolverStats};
 pub use tseitin::CnfBuilder;

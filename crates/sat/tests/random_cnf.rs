@@ -159,13 +159,13 @@ fn php_family_unsat() {
                 *cell = Lit::pos(s.new_var());
             }
         }
-        for i in 0..=n {
-            s.add_clause(p[i].clone());
+        for row in &p {
+            s.add_clause(row.clone());
         }
         for h in 0..n {
-            for i in 0..=n {
-                for j in (i + 1)..=n {
-                    s.add_clause([!p[i][h], !p[j][h]]);
+            for (i, row_i) in p.iter().enumerate() {
+                for row_j in p.iter().skip(i + 1) {
+                    s.add_clause([!row_i[h], !row_j[h]]);
                 }
             }
         }
@@ -185,18 +185,18 @@ fn graph_coloring_k3_on_cycles() {
                     *cell = Lit::pos(s.new_var());
                 }
             }
-            for i in 0..len {
-                s.add_clause(node[i].clone());
+            for row in &node {
+                s.add_clause(row.clone());
                 for c1 in 0..colors {
                     for c2 in (c1 + 1)..colors {
-                        s.add_clause([!node[i][c1], !node[i][c2]]);
+                        s.add_clause([!row[c1], !row[c2]]);
                     }
                 }
             }
             for i in 0..len {
                 let j = (i + 1) % len;
-                for c in 0..colors {
-                    s.add_clause([!node[i][c], !node[j][c]]);
+                for (&a, &b) in node[i].iter().zip(&node[j]) {
+                    s.add_clause([!a, !b]);
                 }
             }
             let result = s.solve();

@@ -56,19 +56,19 @@ fn php_with_blocked_cells() {
             *cell = Lit::pos(s.new_var());
         }
     }
-    for i in 0..=n {
-        s.add_clause(p[i].clone());
+    for row in &p {
+        s.add_clause(row.clone());
     }
     for h in 0..n {
-        for i in 0..=n {
-            for j in (i + 1)..=n {
-                s.add_clause([!p[i][h], !p[j][h]]);
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in p.iter().skip(i + 1) {
+                s.add_clause([!row_i[h], !row_j[h]]);
             }
         }
     }
     // Block the diagonal for good measure.
-    for i in 0..n {
-        s.add_clause([!p[i][i]]);
+    for (i, row) in p.iter().enumerate().take(n) {
+        s.add_clause([!row[i]]);
     }
     assert!(s.solve().is_unsat());
     let st = s.stats();
@@ -153,13 +153,13 @@ fn aggressive_reduction_is_sound() {
                 *cell = Lit::pos(s.new_var());
             }
         }
-        for i in 0..=n {
-            s.add_clause(p[i].clone());
+        for row in &p {
+            s.add_clause(row.clone());
         }
         for h in 0..n {
-            for i in 0..=n {
-                for j in (i + 1)..=n {
-                    s.add_clause([!p[i][h], !p[j][h]]);
+            for (i, row_i) in p.iter().enumerate() {
+                for row_j in p.iter().skip(i + 1) {
+                    s.add_clause([!row_i[h], !row_j[h]]);
                 }
             }
         }

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # The repo's full gate set. Tier-1 (enforced): release build + tests.
-# Formatting and clippy are pinned so style drift cannot accumulate, and
-# the incremental-vs-rebuild bench runs in quick mode as an end-to-end
-# differential check (it exits nonzero on any verdict divergence) while
-# refreshing BENCH_incremental.json.
+# Formatting and clippy (all targets: lib + tests + benches) are pinned so
+# style drift cannot accumulate, and the differential benches run in quick
+# mode as end-to-end checks (each exits nonzero on any verdict
+# divergence): e8 races incremental vs rebuild sessions, e9 races
+# single-solver vs portfolio sessions. Quick-mode JSON goes to target/ so
+# the committed full-run BENCH_*.json files (5-sample medians) are never
+# clobbered by 2-sample gate numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo clippy --workspace --lib -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
-cargo run --release -p genfv-bench --bin e8_incremental_sessions -- --quick
+GENFV_BENCH_JSON=target/ci-BENCH_incremental.json \
+    cargo run --release -p genfv-bench --bin e8_incremental_sessions -- --quick
+GENFV_BENCH_JSON=target/ci-BENCH_portfolio.json \
+    cargo run --release -p genfv-bench --bin e9_portfolio -- --quick
