@@ -211,6 +211,120 @@ impl ClauseDb {
     pub fn learnt_since(&self, mark: usize) -> impl Iterator<Item = &Clause> {
         self.clauses.iter().skip(mark).filter(|c| c.learnt && !c.deleted)
     }
+
+    /// Trims excess capacity from the arena and from every stored clause
+    /// (in-place strengthening and watch migration leave slack behind).
+    pub fn shrink_to_fit(&mut self) {
+        for c in &mut self.clauses {
+            c.lits.shrink_to_fit();
+        }
+        self.clauses.shrink_to_fit();
+    }
+}
+
+/// A relocatable block of clauses over a private variable space
+/// `0..num_vars`.
+///
+/// Literals inside the block are ordinary [`Lit`]s whose variables are
+/// interpreted *block-locally*: variable `i` names the `i`-th slot of the
+/// block, not the `i`-th solver variable. [`crate::Solver::load_template`]
+/// instantiates a block by allocating a fresh window of solver variables
+/// and adding `2 × base` to every literal code — the MiniSat encoding
+/// (`code = 2·var + sign`) makes renaming a whole clause arena a single
+/// offset add per literal, with the sign bit carried along for free.
+///
+/// Blocks are expected to be *pre-normalised* by their producer (the
+/// template blaster in `genfv-ir`): no duplicate literals, no tautologies,
+/// no constants. Instantiation therefore skips the per-clause
+/// simplification walk of [`crate::Solver::add_clause`] entirely.
+///
+/// ```
+/// use genfv_sat::{ClauseBlock, Lit, Solver, Var};
+///
+/// let mut block = ClauseBlock::new(2);
+/// let a = Lit::pos(Var::from_index(0));
+/// let b = Lit::pos(Var::from_index(1));
+/// block.push_clause(&[a, b]);
+/// block.push_unit(!a);
+/// let mut s = Solver::new();
+/// let (base, ok) = s.load_template(&block);
+/// assert!(ok);
+/// assert!(s.solve().is_sat());
+/// // The stamped copy of `b` lives at the window offset.
+/// let b0 = Lit::from_code(b.code() + 2 * base);
+/// assert_eq!(s.value(b0), Some(true));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClauseBlock {
+    num_vars: u32,
+    /// Flat literal arena; clause `i` occupies `lits[bounds[i]..bounds[i+1]]`.
+    lits: Vec<Lit>,
+    /// Clause boundaries into `lits`; always starts with 0.
+    bounds: Vec<u32>,
+    /// Unit facts, enqueued (and propagated) at instantiation time.
+    units: Vec<Lit>,
+}
+
+impl ClauseBlock {
+    /// Creates an empty block over `num_vars` local variables.
+    pub fn new(num_vars: u32) -> Self {
+        ClauseBlock { num_vars, lits: Vec::new(), bounds: vec![0], units: Vec::new() }
+    }
+
+    /// Number of local variables the block is defined over.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of stored (non-unit) clauses.
+    #[inline]
+    pub fn num_clauses(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of literals across all stored clauses.
+    #[inline]
+    pub fn num_lits(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// The unit facts of the block.
+    #[inline]
+    pub fn units(&self) -> &[Lit] {
+        &self.units
+    }
+
+    /// Appends a clause of block-local literals (`len >= 2`; see the type
+    /// docs for the normalisation contract).
+    ///
+    /// # Panics
+    /// Panics (debug) if the clause is shorter than 2 literals or names a
+    /// variable outside `0..num_vars`.
+    pub fn push_clause(&mut self, lits: &[Lit]) {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses go through push_unit");
+        debug_assert!(lits.iter().all(|l| (l.var().index() as u32) < self.num_vars));
+        self.lits.extend_from_slice(lits);
+        self.bounds.push(self.lits.len() as u32);
+    }
+
+    /// Appends a unit fact over a block-local literal.
+    pub fn push_unit(&mut self, lit: Lit) {
+        debug_assert!((lit.var().index() as u32) < self.num_vars);
+        self.units.push(lit);
+    }
+
+    /// Iterates over the stored clauses as literal slices.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        self.bounds.windows(2).map(move |w| &self.lits[w[0] as usize..w[1] as usize])
+    }
+
+    /// Trims excess capacity (blocks are built once and then read-only).
+    pub fn shrink_to_fit(&mut self) {
+        self.lits.shrink_to_fit();
+        self.bounds.shrink_to_fit();
+        self.units.shrink_to_fit();
+    }
 }
 
 #[cfg(test)]

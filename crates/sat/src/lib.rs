@@ -49,7 +49,7 @@ pub mod solver;
 pub mod tseitin;
 
 pub use assume::ActivationGroup;
-pub use clause::{Clause, ClauseRef};
+pub use clause::{Clause, ClauseBlock, ClauseRef};
 pub use lit::{Lit, Var};
 pub use solver::{RestartPolicy, SolveResult, Solver, SolverConfig, SolverStats};
 pub use tseitin::CnfBuilder;
