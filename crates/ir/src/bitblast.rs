@@ -6,7 +6,8 @@
 //! expressions — the model checker keeps one `LitEnv` per unrolled frame
 //! over a single shared solver.
 
-use crate::expr::{BinaryOp, Context, Expr, ExprRef, UnaryOp};
+use crate::encode::{lower_expr, GateEncoder, LowerEnv};
+use crate::expr::{Context, ExprRef};
 use crate::value::BitVecValue;
 use genfv_sat::{CnfBuilder, Lit, SolveResult, Solver};
 use std::collections::HashMap;
@@ -42,6 +43,67 @@ impl LitEnv {
     /// Looks up the literals bound to `e`, if any.
     pub fn lookup(&self, e: ExprRef) -> Option<&[Lit]> {
         self.map.get(&e).map(|v| v.as_slice())
+    }
+
+    /// Caches a lowering without the rebinding check of [`LitEnv::bind`]
+    /// (used by the template engine when materialising pre-encoded cones).
+    pub(crate) fn insert(&mut self, e: ExprRef, lits: Vec<Lit>) {
+        self.map.insert(e, lits);
+    }
+}
+
+/// The per-frame direct-Tseitin encoder: [`CnfBuilder`] gates emitted
+/// straight into the live solver.
+impl GateEncoder for CnfBuilder {
+    type L = Lit;
+
+    fn constant(&mut self, v: bool) -> Lit {
+        CnfBuilder::constant(self, v)
+    }
+
+    fn negate(&mut self, l: Lit) -> Lit {
+        !l
+    }
+
+    fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        CnfBuilder::and(self, a, b)
+    }
+
+    fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        CnfBuilder::xor(self, a, b)
+    }
+
+    fn ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        CnfBuilder::ite(self, c, t, e)
+    }
+
+    fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        CnfBuilder::or(self, a, b)
+    }
+
+    fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        CnfBuilder::iff(self, a, b)
+    }
+}
+
+/// Lowering environment over a [`LitEnv`]: the env map is the memo, and
+/// unbound symbols get fresh unconstrained literals (one instance of the
+/// logic per env).
+struct BlastEnv<'a> {
+    env: &'a mut LitEnv,
+}
+
+impl LowerEnv<CnfBuilder> for BlastEnv<'_> {
+    fn lookup(&mut self, _enc: &mut CnfBuilder, e: ExprRef) -> Option<Vec<Lit>> {
+        self.env.map.get(&e).cloned()
+    }
+
+    fn record(&mut self, e: ExprRef, lits: &[Lit]) {
+        self.env.map.insert(e, lits.to_vec());
+    }
+
+    fn symbol(&mut self, enc: &mut CnfBuilder, _e: ExprRef, width: u32) -> Vec<Lit> {
+        (0..width).map(|_| enc.fresh()).collect()
     }
 }
 
@@ -125,243 +187,25 @@ impl BitBlaster {
 
     /// Lowers `e` under `env`, creating fresh literals for unbound symbols
     /// (recorded in `env` so later references share them).
+    ///
+    /// The word→gate translation itself lives in [`crate::encode`] and is
+    /// shared with the template blaster.
     pub fn blast(&mut self, ctx: &Context, env: &mut LitEnv, e: ExprRef) -> Vec<Lit> {
-        if let Some(lits) = env.map.get(&e) {
-            return lits.clone();
-        }
-        let lits: Vec<Lit> = match ctx.expr(e) {
-            Expr::Const(v) => (0..v.width()).map(|i| self.builder.constant(v.bit(i))).collect(),
-            Expr::Symbol { width, .. } => self.fresh_lits(*width),
-            Expr::Unary(op, a) => {
-                let la = self.blast(ctx, env, *a);
-                match op {
-                    UnaryOp::Not => la.iter().map(|&l| !l).collect(),
-                    UnaryOp::Neg => {
-                        let inverted: Vec<Lit> = la.iter().map(|&l| !l).collect();
-                        let one = self.const_lits(&BitVecValue::from_u64(1, la.len() as u32));
-                        self.ripple_add(&inverted, &one).0
-                    }
-                    UnaryOp::RedAnd => vec![self.builder.and_many(la)],
-                    UnaryOp::RedOr => vec![self.builder.or_many(la)],
-                    UnaryOp::RedXor => {
-                        let mut acc = self.builder.false_lit();
-                        for l in la {
-                            acc = self.builder.xor(acc, l);
-                        }
-                        vec![acc]
-                    }
-                }
-            }
-            Expr::Binary(op, a, b) => {
-                let la = self.blast(ctx, env, *a);
-                let lb = self.blast(ctx, env, *b);
-                match op {
-                    BinaryOp::And => self.zip_gate(&la, &lb, |bld, x, y| bld.and(x, y)),
-                    BinaryOp::Or => self.zip_gate(&la, &lb, |bld, x, y| bld.or(x, y)),
-                    BinaryOp::Xor => self.zip_gate(&la, &lb, |bld, x, y| bld.xor(x, y)),
-                    BinaryOp::Add => self.ripple_add(&la, &lb).0,
-                    BinaryOp::Sub => {
-                        let nb: Vec<Lit> = lb.iter().map(|&l| !l).collect();
-                        self.ripple_add_carry(&la, &nb, self.builder.true_lit()).0
-                    }
-                    BinaryOp::Mul => self.shift_add_mul(&la, &lb),
-                    BinaryOp::Udiv => self.divider(&la, &lb).0,
-                    BinaryOp::Urem => self.divider(&la, &lb).1,
-                    BinaryOp::Eq => vec![self.equal_lit(&la, &lb)],
-                    BinaryOp::Ult => vec![self.ult_lit(&la, &lb)],
-                    BinaryOp::Ule => {
-                        let gt = self.ult_lit(&lb, &la);
-                        vec![!gt]
-                    }
-                    BinaryOp::Slt => {
-                        // Flip sign bits, then unsigned compare.
-                        let mut fa = la.clone();
-                        let mut fb = lb.clone();
-                        let last = fa.len() - 1;
-                        fa[last] = !fa[last];
-                        fb[last] = !fb[last];
-                        vec![self.ult_lit(&fa, &fb)]
-                    }
-                    BinaryOp::Concat => {
-                        // a is high, b is low; LSB-first means b then a.
-                        let mut out = lb.clone();
-                        out.extend_from_slice(&la);
-                        out
-                    }
-                    BinaryOp::Shl => self.barrel_shift(&la, &lb, ShiftDir::Left),
-                    BinaryOp::Lshr => self.barrel_shift(&la, &lb, ShiftDir::Right),
-                }
-            }
-            Expr::Ite { cond, tru, fls } => {
-                let lc = self.blast(ctx, env, *cond)[0];
-                let lt = self.blast(ctx, env, *tru);
-                let le = self.blast(ctx, env, *fls);
-                lt.iter().zip(&le).map(|(&t, &f)| self.builder.ite(lc, t, f)).collect()
-            }
-            Expr::Extract { value, hi, lo } => {
-                let lv = self.blast(ctx, env, *value);
-                lv[*lo as usize..=*hi as usize].to_vec()
-            }
-        };
-        debug_assert_eq!(lits.len() as u32, ctx.width_of(e), "blasted width mismatch");
-        env.map.insert(e, lits.clone());
-        lits
+        let mut benv = BlastEnv { env };
+        lower_expr(ctx, &mut self.builder, &mut benv, e)
     }
 
-    // --- gate-level helpers -------------------------------------------------
+    /// Mutable access to the underlying CNF builder (template
+    /// materialisation emits fallback gates through it).
+    pub(crate) fn builder_mut(&mut self) -> &mut CnfBuilder {
+        &mut self.builder
+    }
 
+    /// The literal vector of a constant (test helper).
+    #[cfg(test)]
     fn const_lits(&mut self, v: &BitVecValue) -> Vec<Lit> {
-        (0..v.width()).map(|i| self.builder.constant(v.bit(i))).collect()
+        crate::encode::const_lits(&mut self.builder, v)
     }
-
-    fn zip_gate(
-        &mut self,
-        a: &[Lit],
-        b: &[Lit],
-        mut gate: impl FnMut(&mut CnfBuilder, Lit, Lit) -> Lit,
-    ) -> Vec<Lit> {
-        a.iter().zip(b).map(|(&x, &y)| gate(&mut self.builder, x, y)).collect()
-    }
-
-    /// Ripple-carry addition; returns `(sum, carry_out)`.
-    fn ripple_add(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
-        let cin = self.builder.false_lit();
-        self.ripple_add_carry(a, b, cin)
-    }
-
-    fn ripple_add_carry(&mut self, a: &[Lit], b: &[Lit], mut carry: Lit) -> (Vec<Lit>, Lit) {
-        let mut sum = Vec::with_capacity(a.len());
-        for (&x, &y) in a.iter().zip(b) {
-            let xy = self.builder.xor(x, y);
-            let s = self.builder.xor(xy, carry);
-            // carry' = (x & y) | (carry & (x ^ y))
-            let and1 = self.builder.and(x, y);
-            let and2 = self.builder.and(carry, xy);
-            carry = self.builder.or(and1, and2);
-            sum.push(s);
-        }
-        (sum, carry)
-    }
-
-    /// O(n²) shift-and-add multiplier (truncating).
-    fn shift_add_mul(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
-        let w = a.len();
-        let mut acc: Vec<Lit> = vec![self.builder.false_lit(); w];
-        for i in 0..w {
-            // partial = (a << i) masked by b[i]
-            let mut partial: Vec<Lit> = Vec::with_capacity(w);
-            for j in 0..w {
-                if j < i {
-                    partial.push(self.builder.false_lit());
-                } else {
-                    let p = self.builder.and(a[j - i], b[i]);
-                    partial.push(p);
-                }
-            }
-            acc = self.ripple_add(&acc, &partial).0;
-        }
-        acc
-    }
-
-    /// Restoring-division circuit; returns `(quotient, remainder)` with
-    /// the SMT-LIB division-by-zero convention (q = all-ones, r = a).
-    fn divider(&mut self, a: &[Lit], d: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
-        let w = a.len();
-        let fl = self.builder.false_lit();
-        let mut r: Vec<Lit> = vec![fl; w];
-        let mut q: Vec<Lit> = vec![fl; w];
-        for i in (0..w).rev() {
-            // r' = (r << 1) | a[i]
-            let mut shifted = Vec::with_capacity(w);
-            shifted.push(a[i]);
-            shifted.extend_from_slice(&r[..w - 1]);
-            // ge = shifted >= d
-            let lt = self.ult_lit(&shifted, d);
-            let ge = !lt;
-            // diff = shifted - d
-            let nd: Vec<Lit> = d.iter().map(|&l| !l).collect();
-            let tl = self.builder.true_lit();
-            let (diff, _) = self.ripple_add_carry(&shifted, &nd, tl);
-            r = shifted
-                .iter()
-                .zip(&diff)
-                .map(|(&keep, &sub)| self.builder.ite(ge, sub, keep))
-                .collect();
-            q[i] = ge;
-        }
-        // Division by zero: quotient all-ones, remainder = dividend.
-        let d_nonzero = self.builder.or_many(d.iter().copied());
-        let d_zero = !d_nonzero;
-        let tl = self.builder.true_lit();
-        let q = q.iter().map(|&l| self.builder.ite(d_zero, tl, l)).collect();
-        let r = r.iter().zip(a).map(|(&l, &ai)| self.builder.ite(d_zero, ai, l)).collect();
-        (q, r)
-    }
-
-    fn equal_lit(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
-        let mut acc = self.builder.true_lit();
-        for (&x, &y) in a.iter().zip(b) {
-            let eq = self.builder.iff(x, y);
-            acc = self.builder.and(acc, eq);
-        }
-        acc
-    }
-
-    /// a < b (unsigned): the borrow out of a - b.
-    fn ult_lit(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
-        let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
-        let (_, carry) = self.ripple_add_carry(a, &nb, self.builder.true_lit());
-        // carry==1 ⇔ a >= b, so a < b ⇔ !carry.
-        !carry
-    }
-
-    fn barrel_shift(&mut self, a: &[Lit], amount: &[Lit], dir: ShiftDir) -> Vec<Lit> {
-        let w = a.len();
-        let mut current = a.to_vec();
-        let mut overflow = self.builder.false_lit();
-        for (s, &bit) in amount.iter().enumerate() {
-            let shift = 1usize.checked_shl(s as u32);
-            match shift {
-                Some(sh) if sh < w => {
-                    let shifted: Vec<Lit> = (0..w)
-                        .map(|i| match dir {
-                            ShiftDir::Left => {
-                                if i >= sh {
-                                    current[i - sh]
-                                } else {
-                                    self.builder.false_lit()
-                                }
-                            }
-                            ShiftDir::Right => {
-                                if i + sh < w {
-                                    current[i + sh]
-                                } else {
-                                    self.builder.false_lit()
-                                }
-                            }
-                        })
-                        .collect();
-                    current = current
-                        .iter()
-                        .zip(&shifted)
-                        .map(|(&keep, &shf)| self.builder.ite(bit, shf, keep))
-                        .collect();
-                }
-                _ => {
-                    // This amount bit alone shifts everything out.
-                    overflow = self.builder.or(overflow, bit);
-                }
-            }
-        }
-        let zero = self.builder.false_lit();
-        current.iter().map(|&l| self.builder.ite(overflow, zero, l)).collect()
-    }
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum ShiftDir {
-    Left,
-    Right,
 }
 
 #[cfg(test)]

@@ -1,0 +1,343 @@
+//! Gate-level encoding abstraction and generic word-level lowering.
+//!
+//! Two CNF producers share the word-level lowering algorithms (ripple
+//! adders, comparators, barrel shifters, restoring dividers, …):
+//!
+//! * the **per-frame bit-blaster** ([`crate::BitBlaster`]), which emits
+//!   Tseitin gates directly into a live solver through
+//!   [`genfv_sat::CnfBuilder`]; and
+//! * the **template blaster** ([`crate::template`]), which encodes the
+//!   transition relation *once* into a relocatable clause block with
+//!   hash-consing and polarity-aware (Plaisted–Greenbaum) emission.
+//!
+//! Both implement [`GateEncoder`]; [`lower_expr`] contains the single copy
+//! of the word→gate translation, so the two encoders cannot drift
+//! semantically (the `bitblast_vs_eval` and template differential property
+//! suites pin this executable claim).
+
+use crate::expr::{BinaryOp, Context, Expr, ExprRef, UnaryOp};
+use crate::value::BitVecValue;
+
+/// Produces literal-like values for boolean gates.
+///
+/// `L` is the encoder's literal representation: [`genfv_sat::Lit`] for the
+/// direct blaster, a template-local literal-or-constant for the template
+/// blaster. Implementations must honour boolean semantics; they are free
+/// to fold constants, hash-cons, or restrict clause polarity as long as
+/// the returned value is (equi-satisfiably) the gate's function.
+pub trait GateEncoder {
+    /// The encoder's literal type.
+    type L: Copy + PartialEq + std::fmt::Debug;
+
+    /// The literal of a boolean constant.
+    fn constant(&mut self, v: bool) -> Self::L;
+
+    /// Negation (always free for CNF literals).
+    fn negate(&mut self, l: Self::L) -> Self::L;
+
+    /// A literal equivalent to `a ∧ b`.
+    fn and(&mut self, a: Self::L, b: Self::L) -> Self::L;
+
+    /// A literal equivalent to `a ⊕ b`.
+    fn xor(&mut self, a: Self::L, b: Self::L) -> Self::L;
+
+    /// A literal equivalent to `if c then t else e`.
+    fn ite(&mut self, c: Self::L, t: Self::L, e: Self::L) -> Self::L;
+
+    /// A literal equivalent to `a ∨ b` (De Morgan over [`GateEncoder::and`]).
+    fn or(&mut self, a: Self::L, b: Self::L) -> Self::L {
+        let na = self.negate(a);
+        let nb = self.negate(b);
+        let g = self.and(na, nb);
+        self.negate(g)
+    }
+
+    /// A literal equivalent to `a == b` (XNOR).
+    fn iff(&mut self, a: Self::L, b: Self::L) -> Self::L {
+        let x = self.xor(a, b);
+        self.negate(x)
+    }
+}
+
+/// Per-instance lowering environment: the memo table plus the policy for
+/// symbols (fresh literals per frame, template slots, …).
+pub trait LowerEnv<E: GateEncoder> {
+    /// A cached lowering of `e`, if one exists. Takes the encoder so
+    /// template-backed environments can materialise cache hits on demand.
+    fn lookup(&mut self, enc: &mut E, e: ExprRef) -> Option<Vec<E::L>>;
+
+    /// Records the lowering of `e` (called exactly once per node).
+    fn record(&mut self, e: ExprRef, lits: &[E::L]);
+
+    /// The literals of an unbound symbol of the given width.
+    fn symbol(&mut self, enc: &mut E, e: ExprRef, width: u32) -> Vec<E::L>;
+}
+
+/// Lowers `e` to one literal per bit (LSB first) under `env`'s bindings.
+///
+/// This is the shared word→gate translation; see the module docs.
+pub fn lower_expr<E: GateEncoder, V: LowerEnv<E>>(
+    ctx: &Context,
+    enc: &mut E,
+    env: &mut V,
+    e: ExprRef,
+) -> Vec<E::L> {
+    if let Some(lits) = env.lookup(enc, e) {
+        return lits;
+    }
+    let lits: Vec<E::L> = match ctx.expr(e) {
+        Expr::Const(v) => const_lits(enc, v),
+        Expr::Symbol { width, .. } => env.symbol(enc, e, *width),
+        Expr::Unary(op, a) => {
+            let la = lower_expr(ctx, enc, env, *a);
+            match op {
+                UnaryOp::Not => la.iter().map(|&l| enc.negate(l)).collect(),
+                UnaryOp::Neg => {
+                    let inverted: Vec<E::L> = la.iter().map(|&l| enc.negate(l)).collect();
+                    let one = const_lits(enc, &BitVecValue::from_u64(1, la.len() as u32));
+                    ripple_add(enc, &inverted, &one).0
+                }
+                UnaryOp::RedAnd => {
+                    let mut acc = enc.constant(true);
+                    for &l in &la {
+                        acc = enc.and(acc, l);
+                    }
+                    vec![acc]
+                }
+                UnaryOp::RedOr => {
+                    let mut acc = enc.constant(false);
+                    for &l in &la {
+                        acc = enc.or(acc, l);
+                    }
+                    vec![acc]
+                }
+                UnaryOp::RedXor => {
+                    let mut acc = enc.constant(false);
+                    for &l in &la {
+                        acc = enc.xor(acc, l);
+                    }
+                    vec![acc]
+                }
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let la = lower_expr(ctx, enc, env, *a);
+            let lb = lower_expr(ctx, enc, env, *b);
+            match op {
+                BinaryOp::And => zip_gate(enc, &la, &lb, |e, x, y| e.and(x, y)),
+                BinaryOp::Or => zip_gate(enc, &la, &lb, |e, x, y| e.or(x, y)),
+                BinaryOp::Xor => zip_gate(enc, &la, &lb, |e, x, y| e.xor(x, y)),
+                BinaryOp::Add => ripple_add(enc, &la, &lb).0,
+                BinaryOp::Sub => {
+                    let nb: Vec<E::L> = lb.iter().map(|&l| enc.negate(l)).collect();
+                    let tl = enc.constant(true);
+                    ripple_add_carry(enc, &la, &nb, tl).0
+                }
+                BinaryOp::Mul => shift_add_mul(enc, &la, &lb),
+                BinaryOp::Udiv => divider(enc, &la, &lb).0,
+                BinaryOp::Urem => divider(enc, &la, &lb).1,
+                BinaryOp::Eq => vec![equal_lit(enc, &la, &lb)],
+                BinaryOp::Ult => vec![ult_lit(enc, &la, &lb)],
+                BinaryOp::Ule => {
+                    let gt = ult_lit(enc, &lb, &la);
+                    vec![enc.negate(gt)]
+                }
+                BinaryOp::Slt => {
+                    // Flip sign bits, then unsigned compare.
+                    let mut fa = la.clone();
+                    let mut fb = lb.clone();
+                    let last = fa.len() - 1;
+                    fa[last] = enc.negate(fa[last]);
+                    fb[last] = enc.negate(fb[last]);
+                    vec![ult_lit(enc, &fa, &fb)]
+                }
+                BinaryOp::Concat => {
+                    // a is high, b is low; LSB-first means b then a.
+                    let mut out = lb.clone();
+                    out.extend_from_slice(&la);
+                    out
+                }
+                BinaryOp::Shl => barrel_shift(enc, &la, &lb, ShiftDir::Left),
+                BinaryOp::Lshr => barrel_shift(enc, &la, &lb, ShiftDir::Right),
+            }
+        }
+        Expr::Ite { cond, tru, fls } => {
+            let lc = lower_expr(ctx, enc, env, *cond)[0];
+            let lt = lower_expr(ctx, enc, env, *tru);
+            let le = lower_expr(ctx, enc, env, *fls);
+            lt.iter().zip(&le).map(|(&t, &f)| enc.ite(lc, t, f)).collect()
+        }
+        Expr::Extract { value, hi, lo } => {
+            let lv = lower_expr(ctx, enc, env, *value);
+            lv[*lo as usize..=*hi as usize].to_vec()
+        }
+    };
+    debug_assert_eq!(lits.len() as u32, ctx.width_of(e), "lowered width mismatch");
+    env.record(e, &lits);
+    lits
+}
+
+/// The literal vector of a constant, LSB first.
+pub(crate) fn const_lits<E: GateEncoder>(enc: &mut E, v: &BitVecValue) -> Vec<E::L> {
+    (0..v.width()).map(|i| enc.constant(v.bit(i))).collect()
+}
+
+fn zip_gate<E: GateEncoder>(
+    enc: &mut E,
+    a: &[E::L],
+    b: &[E::L],
+    mut gate: impl FnMut(&mut E, E::L, E::L) -> E::L,
+) -> Vec<E::L> {
+    a.iter().zip(b).map(|(&x, &y)| gate(enc, x, y)).collect()
+}
+
+/// Ripple-carry addition; returns `(sum, carry_out)`.
+fn ripple_add<E: GateEncoder>(enc: &mut E, a: &[E::L], b: &[E::L]) -> (Vec<E::L>, E::L) {
+    let cin = enc.constant(false);
+    ripple_add_carry(enc, a, b, cin)
+}
+
+fn ripple_add_carry<E: GateEncoder>(
+    enc: &mut E,
+    a: &[E::L],
+    b: &[E::L],
+    mut carry: E::L,
+) -> (Vec<E::L>, E::L) {
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let xy = enc.xor(x, y);
+        let s = enc.xor(xy, carry);
+        // carry' = (x & y) | (carry & (x ^ y))
+        let and1 = enc.and(x, y);
+        let and2 = enc.and(carry, xy);
+        carry = enc.or(and1, and2);
+        sum.push(s);
+    }
+    (sum, carry)
+}
+
+/// O(n²) shift-and-add multiplier (truncating).
+fn shift_add_mul<E: GateEncoder>(enc: &mut E, a: &[E::L], b: &[E::L]) -> Vec<E::L> {
+    let w = a.len();
+    let fl = enc.constant(false);
+    let mut acc: Vec<E::L> = vec![fl; w];
+    for i in 0..w {
+        // partial = (a << i) masked by b[i]
+        let mut partial: Vec<E::L> = Vec::with_capacity(w);
+        for j in 0..w {
+            if j < i {
+                partial.push(enc.constant(false));
+            } else {
+                let p = enc.and(a[j - i], b[i]);
+                partial.push(p);
+            }
+        }
+        acc = ripple_add(enc, &acc, &partial).0;
+    }
+    acc
+}
+
+/// Restoring-division circuit; returns `(quotient, remainder)` with the
+/// SMT-LIB division-by-zero convention (q = all-ones, r = a).
+fn divider<E: GateEncoder>(enc: &mut E, a: &[E::L], d: &[E::L]) -> (Vec<E::L>, Vec<E::L>) {
+    let w = a.len();
+    let fl = enc.constant(false);
+    let mut r: Vec<E::L> = vec![fl; w];
+    let mut q: Vec<E::L> = vec![fl; w];
+    for i in (0..w).rev() {
+        // r' = (r << 1) | a[i]
+        let mut shifted = Vec::with_capacity(w);
+        shifted.push(a[i]);
+        shifted.extend_from_slice(&r[..w - 1]);
+        // ge = shifted >= d
+        let lt = ult_lit(enc, &shifted, d);
+        let ge = enc.negate(lt);
+        // diff = shifted - d
+        let nd: Vec<E::L> = d.iter().map(|&l| enc.negate(l)).collect();
+        let tl = enc.constant(true);
+        let (diff, _) = ripple_add_carry(enc, &shifted, &nd, tl);
+        r = shifted.iter().zip(&diff).map(|(&keep, &sub)| enc.ite(ge, sub, keep)).collect();
+        q[i] = ge;
+    }
+    // Division by zero: quotient all-ones, remainder = dividend.
+    let mut d_nonzero = enc.constant(false);
+    for &l in d {
+        d_nonzero = enc.or(d_nonzero, l);
+    }
+    let d_zero = enc.negate(d_nonzero);
+    let tl = enc.constant(true);
+    let q = q.iter().map(|&l| enc.ite(d_zero, tl, l)).collect();
+    let r = r.iter().zip(a).map(|(&l, &ai)| enc.ite(d_zero, ai, l)).collect();
+    (q, r)
+}
+
+fn equal_lit<E: GateEncoder>(enc: &mut E, a: &[E::L], b: &[E::L]) -> E::L {
+    let mut acc = enc.constant(true);
+    for (&x, &y) in a.iter().zip(b) {
+        let eq = enc.iff(x, y);
+        acc = enc.and(acc, eq);
+    }
+    acc
+}
+
+/// a < b (unsigned): the borrow out of a - b.
+fn ult_lit<E: GateEncoder>(enc: &mut E, a: &[E::L], b: &[E::L]) -> E::L {
+    let nb: Vec<E::L> = b.iter().map(|&l| enc.negate(l)).collect();
+    let tl = enc.constant(true);
+    let (_, carry) = ripple_add_carry(enc, a, &nb, tl);
+    // carry==1 ⇔ a >= b, so a < b ⇔ !carry.
+    enc.negate(carry)
+}
+
+fn barrel_shift<E: GateEncoder>(
+    enc: &mut E,
+    a: &[E::L],
+    amount: &[E::L],
+    dir: ShiftDir,
+) -> Vec<E::L> {
+    let w = a.len();
+    let mut current = a.to_vec();
+    let mut overflow = enc.constant(false);
+    for (s, &bit) in amount.iter().enumerate() {
+        let shift = 1usize.checked_shl(s as u32);
+        match shift {
+            Some(sh) if sh < w => {
+                let shifted: Vec<E::L> = (0..w)
+                    .map(|i| match dir {
+                        ShiftDir::Left => {
+                            if i >= sh {
+                                current[i - sh]
+                            } else {
+                                enc.constant(false)
+                            }
+                        }
+                        ShiftDir::Right => {
+                            if i + sh < w {
+                                current[i + sh]
+                            } else {
+                                enc.constant(false)
+                            }
+                        }
+                    })
+                    .collect();
+                current = current
+                    .iter()
+                    .zip(&shifted)
+                    .map(|(&keep, &shf)| enc.ite(bit, shf, keep))
+                    .collect();
+            }
+            _ => {
+                // This amount bit alone shifts everything out.
+                overflow = enc.or(overflow, bit);
+            }
+        }
+    }
+    let zero = enc.constant(false);
+    current.iter().map(|&l| enc.ite(overflow, zero, l)).collect()
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ShiftDir {
+    Left,
+    Right,
+}

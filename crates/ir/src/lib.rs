@@ -42,13 +42,17 @@
 #![warn(missing_docs)]
 
 pub mod bitblast;
+pub mod encode;
 pub mod eval;
 pub mod expr;
+pub mod template;
 pub mod ts;
 pub mod value;
 
 pub use bitblast::{BitBlaster, LitEnv};
+pub use encode::GateEncoder;
 pub use eval::{evaluate, Env, Simulator};
 pub use expr::{BinaryOp, Context, Expr, ExprRef, UnaryOp};
+pub use template::{FrameStamp, TRef, Template, TemplateStats};
 pub use ts::{State, TransitionSystem};
 pub use value::BitVecValue;
