@@ -16,7 +16,7 @@ use crate::validate::{install_lemma, Candidate, Lemma, ValidateConfig, Validatio
 use genfv_genai::{LanguageModel, Prompt};
 use genfv_mc::{
     prove_rebuild, render_waveform, CheckConfig, EngineMode, PortfolioConfig, ProofSession,
-    ProveResult, SessionStats, Trace,
+    ProveResult, SessionStats, Trace, UnrollMode,
 };
 use genfv_sva::parse_assertions;
 use std::collections::BTreeMap;
@@ -171,6 +171,22 @@ impl FlowConfig {
         self.validate.check.portfolio = Some(portfolio.clone());
         self.check.portfolio = Some(portfolio);
         self
+    }
+
+    /// This configuration with every session unroller — candidate
+    /// validation, Houdini, and target proofs — encoding frames in
+    /// `mode`. Template stamping is the default; the template-vs-DAG-walk
+    /// bench (`e10_template_unroll`) uses this to run the identical flow
+    /// on both encodings.
+    pub fn with_unroll_mode(mut self, mode: UnrollMode) -> Self {
+        self.validate.check.unroll_mode = mode;
+        self.check.unroll_mode = mode;
+        self
+    }
+
+    /// The frame-encoding mode of this flow's session unrollers.
+    pub fn unroll_mode(&self) -> UnrollMode {
+        self.check.unroll_mode
     }
 }
 

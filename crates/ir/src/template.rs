@@ -559,12 +559,11 @@ impl Template {
         // --- clause emission -------------------------------------------
         let mut block = ClauseBlock::new(next);
         let mut pg_saved = 0usize;
-        for v in 0..n {
+        for (v, &p) in phases.iter().enumerate() {
             let gate = match enc.kinds[v] {
-                Some(g) if phases[v] != 0 => g,
+                Some(g) if p != 0 => g,
                 _ => continue,
             };
-            let p = phases[v];
             let g = map_code((v as u32) << 1);
             match gate {
                 Gate::And(a, b) => {

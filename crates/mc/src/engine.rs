@@ -145,11 +145,22 @@ pub struct CheckConfig {
     /// session's (see [`genfv_portfolio`]). `None` (the default) keeps
     /// the plain single-solver discipline.
     pub portfolio: Option<genfv_portfolio::PortfolioConfig>,
+    /// How session unrollers encode new time frames: template stamping
+    /// (default) or the per-frame DAG walk kept as a differential oracle
+    /// (see [`crate::unroll::UnrollMode`]). The rebuild-per-query
+    /// reference engines always DAG-walk.
+    pub unroll_mode: crate::unroll::UnrollMode,
 }
 
 impl Default for CheckConfig {
     fn default() -> Self {
-        CheckConfig { max_k: 10, simple_path: false, conflict_budget: None, portfolio: None }
+        CheckConfig {
+            max_k: 10,
+            simple_path: false,
+            conflict_budget: None,
+            portfolio: None,
+            unroll_mode: crate::unroll::UnrollMode::default(),
+        }
     }
 }
 

@@ -55,7 +55,7 @@
 
 use crate::engine::{BmcResult, CheckConfig, CheckStats, Property, ProveResult};
 use crate::trace::{read_symbol_cycles, Trace, TraceKind};
-use crate::unroll::Unroller;
+use crate::unroll::{UnrollMode, Unroller};
 use genfv_ir::{Context, ExprRef, TransitionSystem};
 use genfv_sat::{ActivationGroup, Lit, SolveResult};
 use std::time::Instant;
@@ -184,13 +184,27 @@ pub struct ProofSession<'c> {
 
 impl<'c> ProofSession<'c> {
     /// Creates a session: the one (per-direction) bit-blast this design
-    /// will get.
+    /// will get. In [`UnrollMode::Template`] (the default) that blast is
+    /// a single shared [`genfv_ir::Template`] — the base and step
+    /// directions stamp their frames from the same relocatable block.
     pub fn new(ctx: &'c Context, ts: &'c TransitionSystem, config: CheckConfig) -> Self {
+        let (base, step) = match config.unroll_mode {
+            UnrollMode::Template => {
+                let tpl = std::sync::Arc::new(genfv_ir::Template::build(ctx, ts));
+                (
+                    Unroller::with_shared_template(ctx, ts, true, true, tpl.clone()),
+                    Unroller::with_shared_template(ctx, ts, false, true, tpl),
+                )
+            }
+            UnrollMode::DagWalk => {
+                (Unroller::new_guarded(ctx, ts, true), Unroller::new_guarded(ctx, ts, false))
+            }
+        };
         ProofSession {
             ctx,
             ts,
-            base: Unroller::new_guarded(ctx, ts, true),
-            step: Unroller::new_guarded(ctx, ts, false),
+            base,
+            step,
             config,
             lemmas: Vec::new(),
             lemma_frames_base: 0,

@@ -17,9 +17,26 @@
 //! ever grow. The guarded form is the substrate of
 //! [`crate::session::ProofSession`], which owns one guarded unroller per
 //! proof direction (pinned base, free step).
+//!
+//! ## Frame encoding modes
+//!
+//! How a new frame's CNF is produced is selected by [`UnrollMode`]:
+//!
+//! * [`UnrollMode::Template`] (production default) — the transition
+//!   relation, constraints, and signal cones are blasted **once** into a
+//!   relocatable [`genfv_ir::Template`]; each frame is then stamped by a
+//!   bulk clause-arena copy with a per-literal offset add and chained to
+//!   its predecessor by state-equality links. A reset-pinned frame 0
+//!   keeps the classic DAG-walk path so reset constants still fold
+//!   through the first transition.
+//! * [`UnrollMode::DagWalk`] — the original per-frame expression-DAG walk
+//!   with direct Tseitin encoding; preserved as the differential oracle
+//!   (`template_differential` in `genfv-designs`) and for the
+//!   rebuild-per-query reference engines.
 
-use genfv_ir::{BitBlaster, Context, ExprRef, LitEnv, TransitionSystem};
+use genfv_ir::{BitBlaster, Context, ExprRef, FrameStamp, LitEnv, Template, TransitionSystem};
 use genfv_sat::Lit;
+use std::sync::Arc;
 
 /// How frame 0 treats initialised state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +45,18 @@ enum InitMode {
     Pinned,
     /// Frame 0 is an arbitrary state.
     Free,
+}
+
+/// How new time frames are encoded (see the [module docs](self)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UnrollMode {
+    /// Template-stamped frames: one-time blast, per-frame clause-arena
+    /// copy by literal renaming. The production default.
+    #[default]
+    Template,
+    /// Per-frame expression-DAG walk with direct Tseitin encoding — the
+    /// pre-template path, kept as the differential oracle.
+    DagWalk,
 }
 
 /// Incremental unroller.
@@ -42,20 +71,37 @@ pub struct Unroller<'c> {
     /// caller-supplied frame-local facts); `None` when constraints are
     /// asserted unconditionally (one-shot/rebuild mode).
     frame_guards: Option<Vec<Lit>>,
+    mode: UnrollMode,
+    /// The shared one-time blast (built lazily on the first stamped
+    /// frame unless supplied by the session).
+    template: Option<Arc<Template>>,
+    /// Per-frame window stamps; `None` for DAG-walked frames.
+    stamps: Vec<Option<FrameStamp>>,
 }
 
 impl<'c> Unroller<'c> {
-    /// Creates an unroller with zero frames and unconditional constraints.
+    /// Creates an unroller with zero frames and unconditional constraints,
+    /// in the DAG-walk (reference) encoding.
     pub fn new(ctx: &'c Context, ts: &'c TransitionSystem, use_init: bool) -> Self {
-        let init = if use_init { InitMode::Pinned } else { InitMode::Free };
-        Unroller { ctx, ts, bb: BitBlaster::new(), frames: Vec::new(), init, frame_guards: None }
+        Unroller::with_mode(ctx, ts, use_init, false, UnrollMode::DagWalk)
     }
 
-    /// Creates an unroller for long-lived sessions: environment
-    /// constraints are activated per frame through guard literals, so any
-    /// query window `0..=k` on the persistent solver is equivalent to a
-    /// fresh `k`-frame unrolling.
+    /// Creates an unroller for long-lived sessions in the DAG-walk
+    /// (reference) encoding: environment constraints are activated per
+    /// frame through guard literals, so any query window `0..=k` on the
+    /// persistent solver is equivalent to a fresh `k`-frame unrolling.
     pub fn new_guarded(ctx: &'c Context, ts: &'c TransitionSystem, use_init: bool) -> Self {
+        Unroller::with_mode(ctx, ts, use_init, true, UnrollMode::DagWalk)
+    }
+
+    /// Creates an unroller with an explicit frame-encoding mode.
+    pub fn with_mode(
+        ctx: &'c Context,
+        ts: &'c TransitionSystem,
+        use_init: bool,
+        guarded: bool,
+        mode: UnrollMode,
+    ) -> Self {
         let init = if use_init { InitMode::Pinned } else { InitMode::Free };
         Unroller {
             ctx,
@@ -63,8 +109,38 @@ impl<'c> Unroller<'c> {
             bb: BitBlaster::new(),
             frames: Vec::new(),
             init,
-            frame_guards: Some(Vec::new()),
+            frame_guards: guarded.then(Vec::new),
+            mode,
+            template: None,
+            stamps: Vec::new(),
         }
+    }
+
+    /// [`Unroller::with_mode`] with a pre-built template, so one blast
+    /// serves several unrollers (a session's base and step directions).
+    pub fn with_shared_template(
+        ctx: &'c Context,
+        ts: &'c TransitionSystem,
+        use_init: bool,
+        guarded: bool,
+        template: Arc<Template>,
+    ) -> Self {
+        let mut u = Unroller::with_mode(ctx, ts, use_init, guarded, UnrollMode::Template);
+        u.template = Some(template);
+        u
+    }
+
+    /// The frame-encoding mode.
+    pub fn mode(&self) -> UnrollMode {
+        self.mode
+    }
+
+    /// The template backing stamped frames, building it on first use.
+    fn ensure_template(&mut self) -> Arc<Template> {
+        if self.template.is_none() {
+            self.template = Some(Arc::new(Template::build(self.ctx, self.ts)));
+        }
+        self.template.clone().expect("just built")
     }
 
     /// Number of frames created so far.
@@ -94,32 +170,67 @@ impl<'c> Unroller<'c> {
     }
 
     fn push_frame(&mut self) {
+        let idx = self.frames.len();
+        // A reset-pinned frame 0 always takes the DAG-walk path: binding
+        // init values as constants lets the blaster fold reset state
+        // through the first transition, which template stamping cannot.
+        let stamp_this =
+            self.mode == UnrollMode::Template && !(idx == 0 && self.init == InitMode::Pinned);
         let mut env = LitEnv::new();
-        if self.frames.is_empty() {
-            if self.init == InitMode::Pinned {
-                for st in self.ts.states() {
-                    if let Some(init) = st.init {
-                        let lits = self.bb.blast(self.ctx, &mut env, init);
-                        env.bind(st.symbol, lits);
+        let stamp = if stamp_this {
+            let tpl = self.ensure_template();
+            // Resolve the predecessor's next-state outputs *before*
+            // stamping: for a stamped predecessor this is pure offset
+            // arithmetic; for a DAG-walked predecessor (pinned frame 0)
+            // it blasts the next functions once, folding reset constants.
+            let prev = if idx == 0 {
+                None
+            } else {
+                Some(match self.stamps[idx - 1] {
+                    Some(pst) => tpl.next_state_lits(pst, self.bb.true_lit()),
+                    None => {
+                        let mut outs = Vec::with_capacity(self.ts.states().len());
+                        for st in self.ts.states() {
+                            let prev_env = &mut self.frames[idx - 1];
+                            outs.push(self.bb.blast(self.ctx, prev_env, st.next));
+                        }
+                        outs
+                    }
+                })
+            };
+            let st = tpl.stamp(self.bb.solver_mut());
+            tpl.bind_frame(st, &mut env);
+            if let Some(prev) = prev {
+                tpl.link_states(self.bb.solver_mut(), st, &prev);
+            }
+            Some(st)
+        } else {
+            if idx == 0 {
+                if self.init == InitMode::Pinned {
+                    for st in self.ts.states() {
+                        if let Some(init) = st.init {
+                            let lits = self.bb.blast(self.ctx, &mut env, init);
+                            env.bind(st.symbol, lits);
+                        }
                     }
                 }
+            } else {
+                // Blast every next-state function in the previous frame,
+                // then bind the state symbols in the new frame.
+                let mut bound = Vec::with_capacity(self.ts.states().len());
+                for st in self.ts.states() {
+                    let prev_env = &mut self.frames[idx - 1];
+                    let lits = self.bb.blast(self.ctx, prev_env, st.next);
+                    bound.push((st.symbol, lits));
+                }
+                for (sym, lits) in bound {
+                    env.bind(sym, lits);
+                }
             }
-        } else {
-            let prev_idx = self.frames.len() - 1;
-            // Blast every next-state function in the previous frame, then
-            // bind the state symbols in the new frame.
-            let mut bound = Vec::with_capacity(self.ts.states().len());
-            for st in self.ts.states() {
-                let prev_env = &mut self.frames[prev_idx];
-                let lits = self.bb.blast(self.ctx, prev_env, st.next);
-                bound.push((st.symbol, lits));
-            }
-            for (sym, lits) in bound {
-                env.bind(sym, lits);
-            }
-        }
+            None
+        };
         self.frames.push(env);
-        let idx = self.frames.len() - 1;
+        self.stamps.push(stamp);
         // Environment constraints hold in every frame — asserted outright
         // in one-shot mode, activated by the frame guard in session mode.
         let guard = if let Some(guards) = &mut self.frame_guards {
@@ -129,14 +240,34 @@ impl<'c> Unroller<'c> {
         } else {
             None
         };
-        let constraints: Vec<ExprRef> = self.ts.constraints().to_vec();
-        for c in constraints {
-            let l = self.lit_at(idx, c);
-            match guard {
-                Some(g) => {
-                    self.bb.solver_mut().add_clause([!g, l]);
+        match stamp {
+            Some(st) => {
+                // Stamped frames carry pre-encoded (polarity-aware)
+                // constraint literals; activation is positive-phase only,
+                // which is exactly what the encoding guarantees.
+                let tpl = self.template.clone().expect("stamped frame has a template");
+                let t = self.bb.true_lit();
+                for i in 0..self.ts.constraints().len() {
+                    let l = tpl.constraint_lit(st, i, t);
+                    match guard {
+                        Some(g) => {
+                            self.bb.solver_mut().add_clause([!g, l]);
+                        }
+                        None => self.bb.assert_lit(l),
+                    }
                 }
-                None => self.bb.assert_lit(l),
+            }
+            None => {
+                let constraints: Vec<ExprRef> = self.ts.constraints().to_vec();
+                for c in constraints {
+                    let l = self.lit_at(idx, c);
+                    match guard {
+                        Some(g) => {
+                            self.bb.solver_mut().add_clause([!g, l]);
+                        }
+                        None => self.bb.assert_lit(l),
+                    }
+                }
             }
         }
     }
@@ -147,14 +278,21 @@ impl<'c> Unroller<'c> {
     /// Panics if the frame does not exist or `expr` is not 1 bit wide.
     pub fn lit_at(&mut self, frame: usize, expr: ExprRef) -> Lit {
         assert_eq!(self.ctx.width_of(expr), 1, "lit_at needs a 1-bit expression");
-        let env = &mut self.frames[frame];
-        self.bb.blast(self.ctx, env, expr)[0]
+        self.lits_at(frame, expr)[0]
     }
 
-    /// Blasts an arbitrary-width expression in a frame.
+    /// Blasts an arbitrary-width expression in a frame. On stamped frames
+    /// template-encoded cones resolve by offset arithmetic; everything
+    /// else (new lemmas, candidate monitors) falls back to the per-frame
+    /// blaster, sharing template-covered sub-cones.
     pub fn lits_at(&mut self, frame: usize, expr: ExprRef) -> Vec<Lit> {
-        let env = &mut self.frames[frame];
-        self.bb.blast(self.ctx, env, expr)
+        match self.stamps[frame] {
+            Some(st) => {
+                let tpl = self.template.clone().expect("stamped frame has a template");
+                tpl.materialize(self.ctx, &mut self.bb, &mut self.frames[frame], st, expr)
+            }
+            None => self.bb.blast(self.ctx, &mut self.frames[frame], expr),
+        }
     }
 
     /// Adds a pairwise-distinct-states ("simple path") constraint between
@@ -349,5 +487,69 @@ mod tests {
         let l = u.lit_at(3, eq3);
         // Reset values are bound (not guarded), so count@3 == 3 outright.
         assert!(u.blaster_mut().solve_with_assumptions(&[!l]).is_unsat());
+    }
+
+    #[test]
+    fn template_mode_enforces_the_transition_relation() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let five = ctx.constant(5, 4);
+        let six = ctx.constant(6, 4);
+        let eq5 = ctx.eq(c, five);
+        let eq6 = ctx.eq(c, six);
+        let mut u = Unroller::with_mode(&ctx, &ts, false, false, UnrollMode::Template);
+        u.ensure_frame(1);
+        let a = u.lit_at(0, eq5);
+        let b = u.lit_at(1, eq6);
+        assert!(u.blaster_mut().solve_with_assumptions(&[a, b]).is_sat());
+        assert!(u.blaster_mut().solve_with_assumptions(&[a, !b]).is_unsat());
+    }
+
+    #[test]
+    fn template_mode_pins_reset_through_frame_zero() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let three = ctx.constant(3, 4);
+        let eq3 = ctx.eq(c, three);
+        let mut u = Unroller::with_mode(&ctx, &ts, true, true, UnrollMode::Template);
+        u.ensure_frame(3);
+        let l = u.lit_at(3, eq3);
+        // Frame 0 is DAG-walked with reset bound, frames 1..3 stamped and
+        // chained: count@3 == 3 must still be forced.
+        assert!(u.blaster_mut().solve_with_assumptions(&[!l]).is_unsat());
+    }
+
+    #[test]
+    fn template_mode_guarded_constraints_scope_like_dagwalk() {
+        let mut ctx = Context::new();
+        let mut ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let eight = ctx.constant(8, 4);
+        let lt8 = ctx.ult(c, eight);
+        ts.add_constraint(lt8);
+        let seven = ctx.constant(7, 4);
+        let eq7 = ctx.eq(c, seven);
+        let mut u = Unroller::with_mode(&ctx, &ts, false, true, UnrollMode::Template);
+        u.ensure_frame(2);
+        let g0 = u.frame_guard(0).expect("guarded");
+        let g1 = u.frame_guard(1).expect("guarded");
+        let l = u.lit_at(0, eq7);
+        assert!(u.blaster_mut().solve_with_assumptions(&[g0, l]).is_sat());
+        assert!(u.blaster_mut().solve_with_assumptions(&[g0, g1, l]).is_unsat());
+    }
+
+    #[test]
+    fn template_mode_simple_path_still_works() {
+        let mut ctx = Context::new();
+        let b = ctx.symbol("b", 1);
+        let nb = ctx.not(b);
+        let mut ts = TransitionSystem::new("toggle");
+        ts.add_state(b, None, nb);
+        let mut u = Unroller::with_mode(&ctx, &ts, false, false, UnrollMode::Template);
+        u.ensure_frame(2);
+        u.assert_simple_path(2);
+        assert!(u.blaster_mut().solver_mut().solve().is_unsat(), "3 distinct states impossible");
     }
 }
