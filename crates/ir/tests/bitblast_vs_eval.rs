@@ -6,197 +6,8 @@
 use genfv_ir::{evaluate, BitBlaster, BitVecValue, Context, Env, ExprRef, LitEnv};
 use proptest::prelude::*;
 
-/// An expression-building instruction; interpreting a list of these over a
-/// stack yields a random DAG (a stack machine avoids recursive strategies).
-#[derive(Clone, Debug)]
-enum Op {
-    PushSym(u8),
-    PushConst(u64),
-    Not,
-    Neg,
-    RedAnd,
-    RedOr,
-    RedXor,
-    And,
-    Or,
-    Xor,
-    Add,
-    Sub,
-    Mul,
-    Udiv,
-    Urem,
-    Eq,
-    Ult,
-    Ule,
-    Slt,
-    Shl,
-    Lshr,
-    Ite,
-    ExtractHalf,
-    ZextDouble,
-    ConcatSelf,
-}
-
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..4).prop_map(Op::PushSym),
-        any::<u64>().prop_map(Op::PushConst),
-        Just(Op::Not),
-        Just(Op::Neg),
-        Just(Op::RedAnd),
-        Just(Op::RedOr),
-        Just(Op::RedXor),
-        Just(Op::And),
-        Just(Op::Or),
-        Just(Op::Xor),
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Mul),
-        Just(Op::Udiv),
-        Just(Op::Urem),
-        Just(Op::Eq),
-        Just(Op::Ult),
-        Just(Op::Ule),
-        Just(Op::Slt),
-        Just(Op::Shl),
-        Just(Op::Lshr),
-        Just(Op::Ite),
-        Just(Op::ExtractHalf),
-        Just(Op::ZextDouble),
-        Just(Op::ConcatSelf),
-    ]
-}
-
-/// Builds an expression from the op list; returns the final stack top.
-fn build(ctx: &mut Context, width: u32, ops: &[Op], syms: &[ExprRef]) -> ExprRef {
-    let mut stack: Vec<ExprRef> = vec![syms[0]];
-    // Normalises an operand to `width` bits so binary ops stay legal.
-    fn norm(ctx: &mut Context, e: ExprRef, width: u32) -> ExprRef {
-        let w = ctx.width_of(e);
-        if w == width {
-            e
-        } else if w > width {
-            ctx.extract(e, width - 1, 0)
-        } else {
-            ctx.zext(e, width)
-        }
-    }
-    for op in ops {
-        match op {
-            Op::PushSym(i) => stack.push(syms[*i as usize % syms.len()]),
-            Op::PushConst(c) => {
-                let e = ctx.constant(*c, width);
-                stack.push(e);
-            }
-            Op::Not => {
-                let a = stack.pop().unwrap();
-                stack.push(ctx.not(a));
-            }
-            Op::Neg => {
-                let a = stack.pop().unwrap();
-                stack.push(ctx.neg(a));
-            }
-            Op::RedAnd => {
-                let a = stack.pop().unwrap();
-                stack.push(ctx.red_and(a));
-            }
-            Op::RedOr => {
-                let a = stack.pop().unwrap();
-                stack.push(ctx.red_or(a));
-            }
-            Op::RedXor => {
-                let a = stack.pop().unwrap();
-                stack.push(ctx.red_xor(a));
-            }
-            Op::And
-            | Op::Or
-            | Op::Xor
-            | Op::Add
-            | Op::Sub
-            | Op::Mul
-            | Op::Udiv
-            | Op::Urem
-            | Op::Eq
-            | Op::Ult
-            | Op::Ule
-            | Op::Slt
-            | Op::Shl
-            | Op::Lshr => {
-                if stack.len() < 2 {
-                    continue;
-                }
-                let b = stack.pop().unwrap();
-                let a = stack.pop().unwrap();
-                let a = norm(ctx, a, width);
-                let b = norm(ctx, b, width);
-                let e = match op {
-                    Op::And => ctx.and(a, b),
-                    Op::Or => ctx.or(a, b),
-                    Op::Xor => ctx.xor(a, b),
-                    Op::Add => ctx.add(a, b),
-                    Op::Sub => ctx.sub(a, b),
-                    Op::Mul => ctx.mul(a, b),
-                    Op::Udiv => ctx.udiv(a, b),
-                    Op::Urem => ctx.urem(a, b),
-                    Op::Eq => ctx.eq(a, b),
-                    Op::Ult => ctx.ult(a, b),
-                    Op::Ule => ctx.ule(a, b),
-                    Op::Slt => ctx.slt(a, b),
-                    Op::Shl => ctx.shl(a, b),
-                    Op::Lshr => ctx.lshr(a, b),
-                    _ => unreachable!(),
-                };
-                stack.push(e);
-            }
-            Op::Ite => {
-                if stack.len() < 3 {
-                    continue;
-                }
-                let e = stack.pop().unwrap();
-                let t = stack.pop().unwrap();
-                let c = stack.pop().unwrap();
-                let c1 = {
-                    let cw = ctx.width_of(c);
-                    if cw == 1 {
-                        c
-                    } else {
-                        ctx.red_or(c)
-                    }
-                };
-                let t = norm(ctx, t, width);
-                let e = norm(ctx, e, width);
-                stack.push(ctx.ite(c1, t, e));
-            }
-            Op::ExtractHalf => {
-                let a = stack.pop().unwrap();
-                let w = ctx.width_of(a);
-                if w >= 2 {
-                    stack.push(ctx.extract(a, w / 2, 0));
-                } else {
-                    stack.push(a);
-                }
-            }
-            Op::ZextDouble => {
-                let a = stack.pop().unwrap();
-                let w = ctx.width_of(a);
-                if w <= 32 {
-                    stack.push(ctx.zext(a, w * 2));
-                } else {
-                    stack.push(a);
-                }
-            }
-            Op::ConcatSelf => {
-                let a = stack.pop().unwrap();
-                if ctx.width_of(a) <= 32 {
-                    stack.push(ctx.concat(a, a));
-                } else {
-                    stack.push(a);
-                }
-            }
-        }
-    }
-    stack.pop().unwrap()
-}
+mod common;
+use common::{arb_op, build};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]

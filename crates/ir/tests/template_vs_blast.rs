@@ -1,0 +1,191 @@
+//! Differential property test: the hash-consing / Plaisted–Greenbaum
+//! template blaster must agree with the naive per-frame blaster and the
+//! concrete evaluator on random expression DAGs — including when the same
+//! template is stamped twice into one solver (relocation) and when a cone
+//! is encoded positive-phase-only (the constraint discipline).
+
+use genfv_ir::{evaluate, BitBlaster, BitVecValue, Context, Env, ExprRef, LitEnv, Template};
+use proptest::prelude::*;
+
+mod common;
+use common::{arb_op, build};
+
+/// The assumption literals pinning a symbol's slot bits to a value.
+fn pin(
+    tpl: &Template,
+    bb: &mut BitBlaster,
+    ctx: &Context,
+    env: &mut LitEnv,
+    stamp: genfv_ir::FrameStamp,
+    pinned: (ExprRef, &BitVecValue),
+) -> Vec<genfv_sat::Lit> {
+    let (sym, val) = pinned;
+    let lits = tpl.materialize(ctx, bb, env, stamp, sym);
+    lits.iter().enumerate().map(|(i, &l)| if val.bit(i as u32) { l } else { !l }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Template-stamped evaluation equals naive blasting equals the
+    /// evaluator, in two independently stamped windows of one solver.
+    #[test]
+    fn template_blast_and_eval_agree(
+        width in 1u32..10,
+        ops in proptest::collection::vec(arb_op(), 1..20),
+        vals in proptest::collection::vec(any::<u64>(), 4),
+        vals2 in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let mut ctx = Context::new();
+        let syms: Vec<ExprRef> =
+            (0..4).map(|i| ctx.symbol(&format!("s{i}"), width)).collect();
+        let e = build(&mut ctx, width, &ops, &syms);
+
+        let expect = |vals: &[u64]| {
+            let mut env = Env::new();
+            for (s, v) in syms.iter().zip(vals) {
+                env.insert(*s, BitVecValue::from_u64(*v, width));
+            }
+            evaluate(&ctx, &env, e)
+        };
+        let expected1 = expect(&vals);
+        let expected2 = expect(&vals2);
+
+        // Naive blaster reference.
+        let naive = {
+            let mut bb = BitBlaster::new();
+            let mut lenv = LitEnv::new();
+            let lits = bb.blast(&ctx, &mut lenv, e);
+            let mut assumptions = Vec::new();
+            for (s, v) in syms.iter().zip(&vals) {
+                let sl = bb.blast(&ctx, &mut lenv, *s);
+                let val = BitVecValue::from_u64(*v, width);
+                for (i, &l) in sl.iter().enumerate() {
+                    assumptions.push(if val.bit(i as u32) { l } else { !l });
+                }
+            }
+            prop_assert!(bb.solve_with_assumptions(&assumptions).is_sat());
+            bb.read_model_value(&lits)
+        };
+        prop_assert_eq!(&naive, &expected1, "naive blaster vs evaluator: {}", ctx.display(e));
+
+        // Template: one build, two stamps into the same solver, with
+        // different symbol values per window — exercises relocation.
+        let tpl = Template::for_exprs(&ctx, &[e]);
+        let mut bb = BitBlaster::new();
+        let f1 = tpl.stamp(bb.solver_mut());
+        let f2 = tpl.stamp(bb.solver_mut());
+        let mut env1 = LitEnv::new();
+        let mut env2 = LitEnv::new();
+        tpl.bind_frame(f1, &mut env1);
+        tpl.bind_frame(f2, &mut env2);
+        let l1 = tpl.materialize(&ctx, &mut bb, &mut env1, f1, e);
+        let l2 = tpl.materialize(&ctx, &mut bb, &mut env2, f2, e);
+        let mut assumptions = Vec::new();
+        for (s, v) in syms.iter().zip(&vals) {
+            let val = BitVecValue::from_u64(*v, width);
+            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut env1, f1, (*s, &val)));
+        }
+        for (s, v) in syms.iter().zip(&vals2) {
+            let val = BitVecValue::from_u64(*v, width);
+            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut env2, f2, (*s, &val)));
+        }
+        prop_assert!(bb.solve_with_assumptions(&assumptions).is_sat());
+        let got1 = bb.read_model_value(&l1);
+        let got2 = bb.read_model_value(&l2);
+        prop_assert_eq!(&got1, &expected1, "template window 1: {}", ctx.display(e));
+        prop_assert_eq!(&got2, &expected2, "template window 2: {}", ctx.display(e));
+        prop_assert_eq!(&got1, &naive, "template vs naive blaster: {}", ctx.display(e));
+    }
+
+    /// With every input pinned, the stamped output is *forced*: asserting
+    /// its negation must be UNSAT (full functional consistency of the
+    /// bipolar template encoding, not just model agreement).
+    #[test]
+    fn template_output_is_functionally_forced(
+        width in 1u32..6,
+        ops in proptest::collection::vec(arb_op(), 1..12),
+        vals in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let mut ctx = Context::new();
+        let syms: Vec<ExprRef> =
+            (0..4).map(|i| ctx.symbol(&format!("s{i}"), width)).collect();
+        let e = build(&mut ctx, width, &ops, &syms);
+
+        let mut env = Env::new();
+        for (s, v) in syms.iter().zip(&vals) {
+            env.insert(*s, BitVecValue::from_u64(*v, width));
+        }
+        let expected = evaluate(&ctx, &env, e);
+
+        let tpl = Template::for_exprs(&ctx, &[e]);
+        let mut bb = BitBlaster::new();
+        let f = tpl.stamp(bb.solver_mut());
+        let mut lenv = LitEnv::new();
+        tpl.bind_frame(f, &mut lenv);
+        let lits = tpl.materialize(&ctx, &mut bb, &mut lenv, f, e);
+        for (s, v) in syms.iter().zip(&vals) {
+            let sl = tpl.materialize(&ctx, &mut bb, &mut lenv, f, *s);
+            let val = BitVecValue::from_u64(*v, width);
+            for (i, &l) in sl.iter().enumerate() {
+                bb.assert_lit(if val.bit(i as u32) { l } else { !l });
+            }
+        }
+        // Assert output != expected: some bit differs.
+        let diff: Vec<_> = lits
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if expected.bit(i as u32) { !l } else { l })
+            .collect();
+        bb.solver_mut().add_clause(diff);
+        prop_assert!(bb.solver_mut().solve().is_unsat());
+    }
+
+    /// Positive-phase (Plaisted–Greenbaum) constraint cones: activating
+    /// the constraint literal is satisfiable exactly when the constraint
+    /// can evaluate true — and pinning the inputs makes it SAT/UNSAT
+    /// exactly as the evaluator says.
+    #[test]
+    fn pg_constraint_cones_are_sound(
+        width in 1u32..8,
+        ops in proptest::collection::vec(arb_op(), 1..16),
+        vals in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let mut ctx = Context::new();
+        let syms: Vec<ExprRef> =
+            (0..4).map(|i| ctx.symbol(&format!("s{i}"), width)).collect();
+        let e = build(&mut ctx, width, &ops, &syms);
+        // A 1-bit condition over the DAG.
+        let cond = if ctx.width_of(e) == 1 { e } else { ctx.red_or(e) };
+
+        let mut env = Env::new();
+        for (s, v) in syms.iter().zip(&vals) {
+            env.insert(*s, BitVecValue::from_u64(*v, width));
+        }
+        let holds = evaluate(&ctx, &env, cond).to_bool();
+
+        // Encode `cond` as a transition-system constraint: its cone is
+        // positive-phase-only unless shared with a bipolar root.
+        let mut ts = genfv_ir::TransitionSystem::new("pg");
+        ts.add_constraint(cond);
+        let tpl = Template::build(&ctx, &ts);
+        let mut bb = BitBlaster::new();
+        let t = bb.true_lit();
+        let f = tpl.stamp(bb.solver_mut());
+        let cl = tpl.constraint_lit(f, 0, t);
+        let mut lenv = LitEnv::new();
+        tpl.bind_frame(f, &mut lenv);
+        let mut assumptions = vec![cl];
+        for (s, v) in syms.iter().zip(&vals) {
+            let val = BitVecValue::from_u64(*v, width);
+            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut lenv, f, (*s, &val)));
+        }
+        let res = bb.solve_with_assumptions(&assumptions);
+        prop_assert_eq!(
+            res.is_sat(),
+            holds,
+            "PG constraint activation must mirror evaluation: {}",
+            ctx.display(cond)
+        );
+    }
+}
