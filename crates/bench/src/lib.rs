@@ -12,6 +12,9 @@
 //! | `e5_model_comparison` | E5 | Section V: GPT-4-class > Llama/Gemini |
 //! | `e6_ablations` | E6 | validation-layer ablations |
 //! | `e7_k_sweep` | E7 | Section II-A: lemmas lower the induction depth |
+//! | `e8_incremental_sessions` | E8 | incremental sessions vs rebuild-per-query |
+//! | `e9_portfolio` | E9 | portfolio racing vs single-solver sessions |
+//! | `e10_template_unroll` | E10 | template-stamped vs DAG-walk frame encoding |
 //!
 //! Criterion timing groups live in `benches/paper_benches.rs`.
 

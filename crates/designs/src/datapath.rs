@@ -1,0 +1,83 @@
+//! Arithmetic datapath designs: registered multiplier identities.
+//!
+//! These bundles exercise the bit-blaster's heaviest circuits (the O(n²)
+//! shift-and-add multiplier) inside induction proofs that close at k=1:
+//! the solver work per query is moderate, so the *encoding* of the
+//! transition relation is a first-order cost — exactly the workload the
+//! template-stamped unroller (`UnrollMode::Template`) exists for, and the
+//! backbone of the `e10_template_unroll` deep-unroll measurement.
+
+use crate::{DesignBundle, Expectation};
+
+/// Registered multiplier increment identity: every cycle it latches
+/// `(a+1)*b` and `a*b + b`; the two registers are always equal (modulo
+/// 2⁶). The two sides lower through structurally different circuits —
+/// the expression DAG cannot canonicalise them into one node — so the
+/// proof genuinely compares two multipliers. The property is a pure
+/// register comparison, so both multipliers live in the next-state cone.
+pub fn mul_incr() -> DesignBundle {
+    DesignBundle {
+        name: "mul_incr",
+        rtl: r#"
+module mul_incr (input clk, rst, input [5:0] a, b,
+                 output logic [5:0] lhs, rhs);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      lhs <= '0;
+      rhs <= '0;
+    end else begin
+      lhs <= (a + 6'd1) * b;
+      rhs <= a * b + b;
+    end
+  end
+endmodule
+"#,
+        spec: "A registered checker for the multiplier increment identity: each cycle it \
+               latches (a+1)*b and a*b + b. All arithmetic truncates to six bits, so the \
+               identity holds modulo 64 and the two registers are always equal.",
+        targets: vec![("incr_identity".to_string(), "lhs == rhs".to_string())],
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+/// Registered multiplier distributivity checker: `a*(b+c)` latched next
+/// to `a*b + a*c` (all truncating, so the identity holds modulo 2⁶).
+pub fn mul_distrib() -> DesignBundle {
+    DesignBundle {
+        name: "mul_distrib",
+        rtl: r#"
+module mul_distrib (input clk, rst, input [5:0] a, b, c,
+                    output logic [5:0] lhs, rhs);
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      lhs <= '0;
+      rhs <= '0;
+    end else begin
+      lhs <= a * (b + c);
+      rhs <= a * b + a * c;
+    end
+  end
+endmodule
+"#,
+        spec: "A registered checker for multiplier distributivity over addition: each \
+               cycle it latches a*(b+c) and a*b + a*c. All arithmetic truncates to six \
+               bits, so the distributive identity holds modulo 64 and the two registers \
+               are always equal.",
+        targets: vec![("distributive".to_string(), "lhs == rhs".to_string())],
+        expectation: Expectation::ProvesUnaided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datapath_bundles_prepare() {
+        for bundle in [mul_incr(), mul_distrib()] {
+            let design = bundle.prepare().expect("datapath designs prepare");
+            assert_eq!(design.ts.states().len(), 2, "{}: two product registers", bundle.name);
+            assert!(!design.targets.is_empty());
+        }
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod control;
 pub mod counters;
+pub mod datapath;
 pub mod ecc;
 pub mod fifo;
 pub mod shift;
@@ -76,7 +77,14 @@ impl DesignBundle {
     }
 }
 
-/// The complete corpus, in a stable order.
+/// The complete flow corpus, in a stable order.
+///
+/// The [`datapath_designs`] bundles are kept separate: their multiplier
+/// cones make candidate-validation workloads (the corpus-wide Houdini
+/// and session differential suites re-validate whole candidate pools per
+/// design) an order of magnitude more expensive without adding flow
+/// coverage — they exist to exercise *encoding*, and the encoding
+/// suites pull them in explicitly.
 pub fn all_designs() -> Vec<DesignBundle> {
     vec![
         counters::sync_counters(),
@@ -101,9 +109,16 @@ pub fn all_designs() -> Vec<DesignBundle> {
     ]
 }
 
-/// Looks a design up by name.
+/// Arithmetic datapath checkers (registered multiplier identities):
+/// encoding-bound induction workloads for the template-unrolling bench
+/// and differential suites.
+pub fn datapath_designs() -> Vec<DesignBundle> {
+    vec![datapath::mul_incr(), datapath::mul_distrib()]
+}
+
+/// Looks a design up by name (flow corpus plus datapath designs).
 pub fn by_name(name: &str) -> Option<DesignBundle> {
-    all_designs().into_iter().find(|d| d.name == name)
+    all_designs().into_iter().chain(datapath_designs()).find(|d| d.name == name)
 }
 
 /// The designs whose targets require helper lemmas (the paper's headline

@@ -38,7 +38,26 @@ fn corpus_is_well_formed() {
 fn lookup_by_name() {
     assert!(by_name("sync_counters").is_some());
     assert!(by_name("hamming74").is_some());
+    assert!(by_name("mul_distrib").is_some(), "datapath designs resolve by name");
     assert!(by_name("nonexistent").is_none());
+}
+
+/// The datapath bundles live outside the flow corpus (see
+/// `genfv_designs::datapath_designs`) but carry the same contract:
+/// well-formed, and provable unaided exactly as declared.
+#[test]
+fn datapath_expectations_hold() {
+    for d in genfv_designs::datapath_designs() {
+        assert_eq!(d.expectation, Expectation::ProvesUnaided, "{}", d.name);
+        let prepared = d.prepare().unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        let report = run_baseline(&prepared, &flow_config());
+        assert!(
+            report.all_proven(),
+            "{} should prove unaided:\n{}",
+            d.name,
+            genfv_core::summarize_targets(&report)
+        );
+    }
 }
 
 #[test]

@@ -155,6 +155,24 @@ fn selector_guarded_facts_match_across_modes() {
     }
 }
 
+/// The datapath (multiplier-identity) designs are the template's
+/// showcase workload and live outside the flow corpus; pin their unaided
+/// proofs across modes explicitly.
+#[test]
+fn datapath_designs_match_across_modes() {
+    for bundle in genfv_designs::datapath_designs() {
+        let design = bundle.prepare().expect("datapath designs prepare");
+        let mut tpl_session = ProofSession::new(&design.ctx, &design.ts, cfg(UnrollMode::Template));
+        let mut dag_session = ProofSession::new(&design.ctx, &design.ts, cfg(UnrollMode::DagWalk));
+        for target in &design.targets {
+            let t = tpl_session.prove(&target.prop);
+            let d = dag_session.prove(&target.prop);
+            assert_prove_eq(&t, &d, &format!("{}::{}", bundle.name, target.name));
+            assert!(t.is_proven(), "{}::{} should prove unaided", bundle.name, target.name);
+        }
+    }
+}
+
 /// Simple-path constraints on stamped frames: completeness-critical
 /// clauses built from state-slot literals must agree with the reference.
 #[test]

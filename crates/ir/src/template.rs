@@ -10,39 +10,46 @@
 //!
 //! A [`Template`] is a one-time blast of a
 //! [`TransitionSystem`](crate::TransitionSystem)'s next-state functions,
-//! environment constraints, published signals (the property cones), and
-//! any extra caller expressions into a relocatable
-//! [`genfv_sat::ClauseBlock`] whose literals range over a private
-//! variable space:
+//! environment constraints, and any extra caller expressions over a
+//! private variable space (signal/property cones are *not* stamped per
+//! frame — [`Template::materialize`] lowers them on demand in the frames
+//! that query them, reusing every registered template sub-cone):
 //!
 //! ```text
-//!   ┌────────────── template variable window ──────────────┐
-//!   │ X: current-state bits │ I: input bits │ G: gate bits  │
-//!   └──────────────────────────────────────────────────────┘
-//!      slots 0..s              s..s+i          s+i..n
+//!   ┌────────────────── template variable space ──────────────────┐
+//!   │ X: current-state bits │ I: input bits │ G: internal gates    │
+//!   └─────────────────────────────────────────────────────────────┘
+//!      0..x (substituted)       x..            ..n   (the window)
+//!
+//!   clauses naming no X bit  → interior ClauseBlock (offset-stamped)
+//!   clauses naming an X bit  → boundary layer (substituted per frame)
 //! ```
 //!
-//! [`Template::stamp`] instantiates one frame through
-//! [`genfv_sat::Solver::load_template`]: a fresh window of solver
-//! variables plus a copy of the clause arena with `2·base` added to every
-//! literal code. Frame `k+1` is chained to frame `k` by
-//! [`Template::link_states`], which equates frame `k+1`'s X slots with
-//! frame `k`'s next-state output literals (two binary clauses per state
-//! bit — these go through the ordinary simplifying `add_clause`, so
-//! constant next-state outputs collapse to units).
+//! [`Template::stamp`] instantiates one frame: the interior block lands
+//! through [`genfv_sat::Solver::load_template`] — a fresh window of
+//! solver variables plus a clause-arena copy with a single `2·base`
+//! offset add per literal — while the small boundary layer (the first
+//! logic layer over state bits) is rewritten per frame, substituting each
+//! X-slot literal with the *predecessor frame's* next-state output
+//! literal. Frames therefore share state literals exactly like the
+//! per-frame DAG walk, with no linking clauses and no indirection
+//! variables; a free frame 0 substitutes fresh variables instead.
 //!
 //! ## Renaming soundness
 //!
-//! Stamping is sound because the block is *closed over its window*: every
-//! clause literal names a window-local variable, so adding a constant
-//! offset is a bijective renaming of fresh, unconstrained solver
-//! variables — the stamped formula is syntactically identical to the
-//! template up to variable names, hence defines the same relation between
-//! its X, I, and next-state-output bits. Chaining via `link_states`
-//! yields exactly the conjunction `T(x₀,i₀,x₁) ∧ T(x₁,i₁,x₂) ∧ …` that
+//! Stamping frame `k+1` applies an injective literal substitution σ to
+//! the template: window variables map to fresh, unconstrained solver
+//! variables (a bijective renaming — the interior offset add), and each
+//! X-slot bit maps to the literal computed for the corresponding
+//! next-state bit of frame `k` (or a fresh variable at a free frame 0).
+//! The stamped clause set is exactly the template's definition of
+//! `x' = f(x, i)` and `c(x, i)` instantiated at σ, so the conjunction of
+//! stamped frames is `T(x₀,i₀,x₁) ∧ T(x₁,i₁,x₂) ∧ …` — the same formula
 //! the per-frame DAG walk builds, over different-but-bijective variable
-//! names. The `template_differential` corpus suite in `genfv-designs`
-//! pins this equivalence on every observable verdict.
+//! names. Boundary substitution goes through the simplifying
+//! `add_clause`, so constant predecessor bits fold instead of polluting
+//! the clause database. The `template_differential` corpus suite in
+//! `genfv-designs` pins this equivalence on every observable verdict.
 //!
 //! ## The simplifying blaster
 //!
@@ -59,8 +66,8 @@
 //!   are only ever referenced in one phase (environment constraints,
 //!   which frames activate positively) emit only that phase's
 //!   implications. Cones that callers may query in either phase
-//!   (next-state functions, signals, extra roots) are marked bipolar and
-//!   emit the full Tseitin equivalences; only those cones are exposed
+//!   (next-state functions, extra roots) are marked bipolar and emit
+//!   the full Tseitin equivalences; only those cones are exposed
 //!   through [`Template::output`]/[`Template::materialize`], which keeps
 //!   single-phase encodings internal and the public literal API sound.
 
@@ -347,19 +354,31 @@ impl LowerEnv<TemplateEncoder> for BuildEnv {
     }
 }
 
-/// One stamped instance of a template: the base index of its solver
-/// variable window.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// One stamped instance of a template: the solver-variable window of the
+/// frame's interior plus the substitution of its current-state slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FrameStamp {
-    /// Index of the window's first solver variable.
-    pub base: usize,
+    /// First solver variable of the interior window.
+    base: usize,
+    /// Solver literal substituted for each X-slot bit: the predecessor
+    /// frame's next-state outputs, or fresh variables for a free frame 0.
+    xmap: Vec<Lit>,
 }
 
 /// A one-time blast of a transition relation into a relocatable clause
 /// block; see the [module docs](self) for the architecture.
 #[derive(Clone, Debug)]
 pub struct Template {
-    block: ClauseBlock,
+    /// Number of current-state (X) slot bits; template variables `0..x`
+    /// are substituted at stamp time, never allocated.
+    x_bits: u32,
+    /// Clauses free of X slots, over template variables `x..vars`
+    /// reindexed to `0..vars-x`: stamped by pure offset add.
+    interior: ClauseBlock,
+    /// Clauses touching at least one X slot (the first logic layer over
+    /// state bits), in full-template codes; added per frame through the
+    /// simplifying `add_clause` after substitution.
+    boundary: Vec<Vec<Lit>>,
     /// `(symbol, first slot var, width)` per state register (X slots).
     state_slots: Vec<(ExprRef, u32, u32)>,
     /// `(symbol, first slot var, width)` per free input (I slots).
@@ -377,8 +396,11 @@ pub struct Template {
 }
 
 impl Template {
-    /// Blasts `ts`'s next-state functions, constraints, and published
-    /// signals into a template.
+    /// Blasts `ts`'s next-state functions and environment constraints
+    /// into a template. Signal/property cones are not pre-encoded;
+    /// [`Template::materialize`] lowers them on demand in the frames
+    /// that query them (pass them as extra roots to
+    /// [`Template::build_with`] to pre-encode known cones).
     pub fn build(ctx: &Context, ts: &TransitionSystem) -> Template {
         Template::build_with(ctx, ts, &[])
     }
@@ -406,12 +428,14 @@ impl Template {
             input_slots.push((sym, start, w));
         }
 
+        // Roots are the next-state functions (plus any caller-supplied
+        // cones): exactly what every frame needs. Signal/property cones
+        // are *not* stamped per frame — `materialize` lowers them on
+        // demand in the frames that query them, reusing every registered
+        // template sub-cone, so unqueried logic never costs clauses.
         let next_outputs: Vec<Vec<TRef>> =
             ts.states().iter().map(|st| lower_expr(ctx, &mut enc, &mut env, st.next)).collect();
         let mut bipolar_roots: Vec<TRef> = next_outputs.iter().flatten().copied().collect();
-        for (_, sig) in ts.signals() {
-            bipolar_roots.extend(lower_expr(ctx, &mut enc, &mut env, *sig));
-        }
         for &e in extra {
             bipolar_roots.extend(lower_expr(ctx, &mut enc, &mut env, e));
         }
@@ -557,8 +581,24 @@ impl Template {
         };
 
         // --- clause emission -------------------------------------------
-        let mut block = ClauseBlock::new(next);
+        // State slots are allocated first and always survive compaction,
+        // so the final X slots occupy exactly `0..x_bits`. Clauses free of
+        // X slots go to the interior block (reindexed past the X prefix,
+        // stamped by pure offset add); clauses touching an X slot form the
+        // small boundary layer, substituted per frame.
+        let x_bits: u32 = state_slots.iter().map(|&(_, _, w)| w).sum();
+        let mut interior = ClauseBlock::new(next - x_bits);
+        let mut boundary: Vec<Vec<Lit>> = Vec::new();
         let mut pg_saved = 0usize;
+        let mut emit = |lits: &[Lit]| {
+            if lits.iter().any(|l| (l.code() as u32) < 2 * x_bits) {
+                boundary.push(lits.to_vec());
+            } else {
+                let shifted: Vec<Lit> =
+                    lits.iter().map(|l| Lit::from_code(l.code() - 2 * x_bits as usize)).collect();
+                interior.push_clause(&shifted);
+            }
+        };
         for (v, &p) in phases.iter().enumerate() {
             let gate = match enc.kinds[v] {
                 Some(g) if p != 0 => g,
@@ -569,13 +609,13 @@ impl Template {
                 Gate::And(a, b) => {
                     let (a, b) = (map_code(a), map_code(b));
                     if p & P_POS != 0 {
-                        block.push_clause(&[!g, a]);
-                        block.push_clause(&[!g, b]);
+                        emit(&[!g, a]);
+                        emit(&[!g, b]);
                     } else {
                         pg_saved += 2;
                     }
                     if p & P_NEG != 0 {
-                        block.push_clause(&[g, !a, !b]);
+                        emit(&[g, !a, !b]);
                     } else {
                         pg_saved += 1;
                     }
@@ -583,14 +623,14 @@ impl Template {
                 Gate::Xor(a, b) => {
                     let (a, b) = (map_code(a), map_code(b));
                     if p & P_POS != 0 {
-                        block.push_clause(&[!g, a, b]);
-                        block.push_clause(&[!g, !a, !b]);
+                        emit(&[!g, a, b]);
+                        emit(&[!g, !a, !b]);
                     } else {
                         pg_saved += 2;
                     }
                     if p & P_NEG != 0 {
-                        block.push_clause(&[g, !a, b]);
-                        block.push_clause(&[g, a, !b]);
+                        emit(&[g, !a, b]);
+                        emit(&[g, a, !b]);
                     } else {
                         pg_saved += 2;
                     }
@@ -598,27 +638,28 @@ impl Template {
                 Gate::Ite { c, t, e } => {
                     let (c, t, e) = (map_code(c), map_code(t), map_code(e));
                     if p & P_POS != 0 {
-                        block.push_clause(&[!g, !c, t]);
-                        block.push_clause(&[!g, c, e]);
+                        emit(&[!g, !c, t]);
+                        emit(&[!g, c, e]);
                     } else {
                         pg_saved += 2;
                     }
                     if p & P_NEG != 0 {
-                        block.push_clause(&[g, !c, !t]);
-                        block.push_clause(&[g, c, !e]);
+                        emit(&[g, !c, !t]);
+                        emit(&[g, c, !e]);
                     } else {
                         pg_saved += 2;
                     }
                     if p == P_BOTH {
                         // Propagation-strengthening clauses, matching the
                         // direct blaster's bipolar ITE.
-                        block.push_clause(&[g, !t, !e]);
-                        block.push_clause(&[!g, t, e]);
+                        emit(&[g, !t, !e]);
+                        emit(&[!g, t, e]);
                     }
                 }
             }
         }
-        block.shrink_to_fit();
+        interior.shrink_to_fit();
+        boundary.shrink_to_fit();
 
         // --- output registries (final codes) ---------------------------
         let remap_slots = |slots: Vec<(ExprRef, u32, u32)>| -> Vec<(ExprRef, u32, u32)> {
@@ -652,7 +693,7 @@ impl Template {
 
         let stats = TemplateStats {
             vars: next,
-            clauses: block.num_clauses(),
+            clauses: interior.num_clauses() + boundary.len(),
             gates,
             dead_gates,
             cache_hits: enc.cache_hits,
@@ -660,7 +701,9 @@ impl Template {
             pg_clauses_saved: pg_saved,
         };
         Template {
-            block,
+            x_bits,
+            interior,
+            boundary,
             state_slots,
             input_slots,
             aux_slots,
@@ -676,14 +719,15 @@ impl Template {
         &self.stats
     }
 
-    /// Window size in variables.
+    /// Window size in variables (X slots excluded — those are substituted,
+    /// not allocated).
     pub fn num_vars(&self) -> u32 {
-        self.block.num_vars()
+        self.interior.num_vars()
     }
 
-    /// Clauses stamped per frame.
+    /// Clauses per frame (interior block plus boundary layer).
     pub fn num_clauses(&self) -> usize {
-        self.block.num_clauses()
+        self.interior.num_clauses() + self.boundary.len()
     }
 
     /// The registered bipolar-safe encoding of `e`, if any.
@@ -691,32 +735,80 @@ impl Template {
         self.exprs.get(&e).map(|v| v.as_slice())
     }
 
-    /// Instantiates one frame: allocates a window and copies the clause
-    /// arena with a per-literal offset add (see
-    /// [`genfv_sat::Solver::load_template`]).
-    pub fn stamp(&self, solver: &mut Solver) -> FrameStamp {
-        let (base, _ok) = solver.load_template(&self.block);
-        FrameStamp { base }
+    /// Instantiates one frame.
+    ///
+    /// `prev` supplies the predecessor frame's next-state output literals
+    /// (aligned with `ts.states()`), substituted for the template's X
+    /// slots — the frame then shares its current-state literals with the
+    /// predecessor exactly like a DAG-walked unrolling, with no linking
+    /// clauses. `None` allocates fresh state variables (a free frame 0).
+    ///
+    /// The interior block lands through
+    /// [`genfv_sat::Solver::load_template`] — a fresh variable window plus
+    /// a clause-arena copy with a single per-literal offset add. The
+    /// boundary layer (clauses naming an X slot) goes through the
+    /// simplifying `add_clause`, so constant predecessor bits fold away.
+    pub fn stamp(&self, solver: &mut Solver, prev: Option<&[Vec<Lit>]>) -> FrameStamp {
+        let xmap: Vec<Lit> = match prev {
+            Some(p) => {
+                debug_assert_eq!(p.len(), self.state_slots.len());
+                p.iter().flat_map(|bits| bits.iter().copied()).collect()
+            }
+            None => {
+                let base = solver.new_vars(self.x_bits as usize);
+                (0..self.x_bits as usize)
+                    .map(|i| Lit::pos(genfv_sat::Var::from_index(base + i)))
+                    .collect()
+            }
+        };
+        debug_assert_eq!(xmap.len(), self.x_bits as usize);
+        let (base, _ok) = solver.load_template(&self.interior);
+        let stamp = FrameStamp { base, xmap };
+        for clause in &self.boundary {
+            let mapped = clause.iter().map(|&l| self.map_lit(&stamp, l));
+            solver.add_clause(mapped);
+        }
+        stamp
     }
 
-    /// Maps a template literal into a stamped window. `true_lit` resolves
-    /// constants (the solver's constant-true literal).
-    pub fn resolve(&self, stamp: FrameStamp, t: TRef, true_lit: Lit) -> Lit {
-        match t {
-            TRef::Const(true) => true_lit,
-            TRef::Const(false) => !true_lit,
-            TRef::Lit(code) => Lit::from_code(code as usize + 2 * stamp.base),
+    /// Maps a full-template literal code into a stamped frame: X slots go
+    /// through the stamp's substitution, everything else by offset add.
+    #[inline]
+    fn map_lit(&self, stamp: &FrameStamp, l: Lit) -> Lit {
+        let code = l.code();
+        let split = 2 * self.x_bits as usize;
+        if code < split {
+            let base = stamp.xmap[code >> 1];
+            if code & 1 == 1 {
+                !base
+            } else {
+                base
+            }
+        } else {
+            Lit::from_code(code - split + 2 * stamp.base)
         }
     }
 
-    fn slot_lits(&self, stamp: FrameStamp, start: u32, width: u32) -> Vec<Lit> {
-        (0..width).map(|i| Lit::from_code((((start + i) << 1) as usize) + 2 * stamp.base)).collect()
+    /// Maps a template literal into a stamped frame. `true_lit` resolves
+    /// constants (the solver's constant-true literal).
+    pub fn resolve(&self, stamp: &FrameStamp, t: TRef, true_lit: Lit) -> Lit {
+        match t {
+            TRef::Const(true) => true_lit,
+            TRef::Const(false) => !true_lit,
+            TRef::Lit(code) => self.map_lit(stamp, Lit::from_code(code as usize)),
+        }
+    }
+
+    fn slot_lits(&self, stamp: &FrameStamp, start: u32, width: u32) -> Vec<Lit> {
+        (0..width)
+            .map(|i| self.map_lit(stamp, Lit::from_code(((start + i) << 1) as usize)))
+            .collect()
     }
 
     /// Binds every slot symbol (states, inputs, discovered auxiliaries)
     /// of a stamped frame into `env`, making the frame's [`LitEnv`]
     /// self-sufficient for trace extraction and fallback blasting.
-    pub fn bind_frame(&self, stamp: FrameStamp, env: &mut LitEnv) {
+    pub fn bind_frame(&self, stamp: &FrameStamp, env: &mut LitEnv) {
         for &(sym, start, w) in
             self.state_slots.iter().chain(&self.input_slots).chain(&self.aux_slots)
         {
@@ -726,33 +818,17 @@ impl Template {
 
     /// The next-state output literals of a stamped frame, aligned with
     /// `ts.states()` — resolved by pure offset arithmetic, no DAG work.
-    pub fn next_state_lits(&self, stamp: FrameStamp, true_lit: Lit) -> Vec<Vec<Lit>> {
+    pub fn next_state_lits(&self, stamp: &FrameStamp, true_lit: Lit) -> Vec<Vec<Lit>> {
         self.next_outputs
             .iter()
             .map(|bits| bits.iter().map(|&t| self.resolve(stamp, t, true_lit)).collect())
             .collect()
     }
 
-    /// Chains a stamped frame to its predecessor: equates the frame's X
-    /// slots with `prev` (the predecessor's next-state output literals),
-    /// two binary clauses per state bit. Constant predecessors collapse
-    /// to units through the solver's clause simplification.
-    pub fn link_states(&self, solver: &mut Solver, stamp: FrameStamp, prev: &[Vec<Lit>]) {
-        debug_assert_eq!(prev.len(), self.state_slots.len());
-        for ((_, start, w), prev_bits) in self.state_slots.iter().zip(prev) {
-            debug_assert_eq!(*w as usize, prev_bits.len());
-            let xs = self.slot_lits(stamp, *start, *w);
-            for (&x, &p) in xs.iter().zip(prev_bits) {
-                solver.add_clause([!x, p]);
-                solver.add_clause([x, !p]);
-            }
-        }
-    }
-
     /// The positive-phase literal of constraint `i` in a stamped frame.
     /// Sound only for positive use (assertion or guarded activation);
     /// constraint cones are Plaisted–Greenbaum-encoded.
-    pub fn constraint_lit(&self, stamp: FrameStamp, i: usize, true_lit: Lit) -> Lit {
+    pub fn constraint_lit(&self, stamp: &FrameStamp, i: usize, true_lit: Lit) -> Lit {
         self.resolve(stamp, self.constraints[i], true_lit)
     }
 
@@ -766,7 +842,7 @@ impl Template {
         ctx: &Context,
         bb: &mut BitBlaster,
         env: &mut LitEnv,
-        stamp: FrameStamp,
+        stamp: &FrameStamp,
         e: ExprRef,
     ) -> Vec<Lit> {
         let true_lit = bb.true_lit();
@@ -779,7 +855,7 @@ impl Template {
 /// then the template's registered cones, then fresh fallback gates.
 struct MaterializeEnv<'a> {
     tpl: &'a Template,
-    stamp: FrameStamp,
+    stamp: &'a FrameStamp,
     env: &'a mut LitEnv,
     true_lit: Lit,
 }
@@ -838,17 +914,16 @@ mod tests {
         let tpl = Template::build(&ctx, &ts);
         let mut bb = BitBlaster::new();
         let t = bb.true_lit();
-        let f0 = tpl.stamp(bb.solver_mut());
-        let f1 = tpl.stamp(bb.solver_mut());
-        let prev = tpl.next_state_lits(f0, t);
-        tpl.link_states(bb.solver_mut(), f1, &prev);
+        let f0 = tpl.stamp(bb.solver_mut(), None);
+        let prev = tpl.next_state_lits(&f0, t);
+        let f1 = tpl.stamp(bb.solver_mut(), Some(&prev));
 
         let mut env0 = LitEnv::new();
         let mut env1 = LitEnv::new();
-        tpl.bind_frame(f0, &mut env0);
-        tpl.bind_frame(f1, &mut env1);
-        let a = tpl.materialize(&ctx, &mut bb, &mut env0, f0, eq5)[0];
-        let b = tpl.materialize(&ctx, &mut bb, &mut env1, f1, eq6)[0];
+        tpl.bind_frame(&f0, &mut env0);
+        tpl.bind_frame(&f1, &mut env1);
+        let a = tpl.materialize(&ctx, &mut bb, &mut env0, &f0, eq5)[0];
+        let b = tpl.materialize(&ctx, &mut bb, &mut env1, &f1, eq6)[0];
         assert!(bb.solve_with_assumptions(&[a, b]).is_sat());
         assert!(bb.solve_with_assumptions(&[a, !b]).is_unsat());
     }
@@ -892,15 +967,15 @@ mod tests {
         // The positive-phase literal still activates the constraint.
         let mut bb = BitBlaster::new();
         let t = bb.true_lit();
-        let f0 = tpl.stamp(bb.solver_mut());
-        let cl = tpl.constraint_lit(f0, 0, t);
+        let f0 = tpl.stamp(bb.solver_mut(), None);
+        let cl = tpl.constraint_lit(&f0, 0, t);
         let mut env = LitEnv::new();
-        tpl.bind_frame(f0, &mut env);
+        tpl.bind_frame(&f0, &mut env);
         // x < count is unsatisfiable when count == 0 and the constraint
         // is activated.
         let zero = ctx.constant(0, 4);
         let is0 = ctx.eq(c, zero);
-        let l0 = tpl.materialize(&ctx, &mut bb, &mut env, f0, is0)[0];
+        let l0 = tpl.materialize(&ctx, &mut bb, &mut env, &f0, is0)[0];
         assert!(bb.solve_with_assumptions(&[cl, l0]).is_unsat());
         assert!(bb.solve_with_assumptions(&[l0]).is_sat());
     }
@@ -928,17 +1003,17 @@ mod tests {
         let c = ctx.find_symbol("count").unwrap();
         let tpl = Template::build(&ctx, &ts);
         let mut bb = BitBlaster::new();
-        let f0 = tpl.stamp(bb.solver_mut());
+        let f0 = tpl.stamp(bb.solver_mut(), None);
         let mut env = LitEnv::new();
-        tpl.bind_frame(f0, &mut env);
+        tpl.bind_frame(&f0, &mut env);
         // A lemma minted after the template was built: not registered,
         // lowered through the fallback path over the frame's slots.
         let nine = ctx.constant(9, 4);
         let lt9 = ctx.ult(c, nine);
-        let l = tpl.materialize(&ctx, &mut bb, &mut env, f0, lt9);
+        let l = tpl.materialize(&ctx, &mut bb, &mut env, &f0, lt9);
         assert_eq!(l.len(), 1);
         let eq9 = ctx.eq(c, nine);
-        let e9 = tpl.materialize(&ctx, &mut bb, &mut env, f0, eq9)[0];
+        let e9 = tpl.materialize(&ctx, &mut bb, &mut env, &f0, eq9)[0];
         // count == 9 contradicts count < 9.
         assert!(bb.solve_with_assumptions(&[l[0], e9]).is_unsat());
         assert!(bb.solve_with_assumptions(&[l[0]]).is_sat());

@@ -16,7 +16,7 @@ fn pin(
     bb: &mut BitBlaster,
     ctx: &Context,
     env: &mut LitEnv,
-    stamp: genfv_ir::FrameStamp,
+    stamp: &genfv_ir::FrameStamp,
     pinned: (ExprRef, &BitVecValue),
 ) -> Vec<genfv_sat::Lit> {
     let (sym, val) = pinned;
@@ -73,22 +73,22 @@ proptest! {
         // different symbol values per window — exercises relocation.
         let tpl = Template::for_exprs(&ctx, &[e]);
         let mut bb = BitBlaster::new();
-        let f1 = tpl.stamp(bb.solver_mut());
-        let f2 = tpl.stamp(bb.solver_mut());
+        let f1 = tpl.stamp(bb.solver_mut(), None);
+        let f2 = tpl.stamp(bb.solver_mut(), None);
         let mut env1 = LitEnv::new();
         let mut env2 = LitEnv::new();
-        tpl.bind_frame(f1, &mut env1);
-        tpl.bind_frame(f2, &mut env2);
-        let l1 = tpl.materialize(&ctx, &mut bb, &mut env1, f1, e);
-        let l2 = tpl.materialize(&ctx, &mut bb, &mut env2, f2, e);
+        tpl.bind_frame(&f1, &mut env1);
+        tpl.bind_frame(&f2, &mut env2);
+        let l1 = tpl.materialize(&ctx, &mut bb, &mut env1, &f1, e);
+        let l2 = tpl.materialize(&ctx, &mut bb, &mut env2, &f2, e);
         let mut assumptions = Vec::new();
         for (s, v) in syms.iter().zip(&vals) {
             let val = BitVecValue::from_u64(*v, width);
-            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut env1, f1, (*s, &val)));
+            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut env1, &f1, (*s, &val)));
         }
         for (s, v) in syms.iter().zip(&vals2) {
             let val = BitVecValue::from_u64(*v, width);
-            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut env2, f2, (*s, &val)));
+            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut env2, &f2, (*s, &val)));
         }
         prop_assert!(bb.solve_with_assumptions(&assumptions).is_sat());
         let got1 = bb.read_model_value(&l1);
@@ -120,12 +120,12 @@ proptest! {
 
         let tpl = Template::for_exprs(&ctx, &[e]);
         let mut bb = BitBlaster::new();
-        let f = tpl.stamp(bb.solver_mut());
+        let f = tpl.stamp(bb.solver_mut(), None);
         let mut lenv = LitEnv::new();
-        tpl.bind_frame(f, &mut lenv);
-        let lits = tpl.materialize(&ctx, &mut bb, &mut lenv, f, e);
+        tpl.bind_frame(&f, &mut lenv);
+        let lits = tpl.materialize(&ctx, &mut bb, &mut lenv, &f, e);
         for (s, v) in syms.iter().zip(&vals) {
-            let sl = tpl.materialize(&ctx, &mut bb, &mut lenv, f, *s);
+            let sl = tpl.materialize(&ctx, &mut bb, &mut lenv, &f, *s);
             let val = BitVecValue::from_u64(*v, width);
             for (i, &l) in sl.iter().enumerate() {
                 bb.assert_lit(if val.bit(i as u32) { l } else { !l });
@@ -171,14 +171,14 @@ proptest! {
         let tpl = Template::build(&ctx, &ts);
         let mut bb = BitBlaster::new();
         let t = bb.true_lit();
-        let f = tpl.stamp(bb.solver_mut());
-        let cl = tpl.constraint_lit(f, 0, t);
+        let f = tpl.stamp(bb.solver_mut(), None);
+        let cl = tpl.constraint_lit(&f, 0, t);
         let mut lenv = LitEnv::new();
-        tpl.bind_frame(f, &mut lenv);
+        tpl.bind_frame(&f, &mut lenv);
         let mut assumptions = vec![cl];
         for (s, v) in syms.iter().zip(&vals) {
             let val = BitVecValue::from_u64(*v, width);
-            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut lenv, f, (*s, &val)));
+            assumptions.extend(pin(&tpl, &mut bb, &ctx, &mut lenv, &f, (*s, &val)));
         }
         let res = bb.solve_with_assumptions(&assumptions);
         prop_assert_eq!(

@@ -184,21 +184,19 @@ pub struct ProofSession<'c> {
 
 impl<'c> ProofSession<'c> {
     /// Creates a session: the one (per-direction) bit-blast this design
-    /// will get. In [`UnrollMode::Template`] (the default) that blast is
-    /// a single shared [`genfv_ir::Template`] — the base and step
-    /// directions stamp their frames from the same relocatable block.
+    /// will get. In [`UnrollMode::Template`] (the default) the free-start
+    /// step direction stamps its frames from a one-time
+    /// [`genfv_ir::Template`] blast; the reset-pinned base direction
+    /// always keeps the constant-folding DAG-walk path (pinned frames are
+    /// not frame-uniform, so stamping cannot beat folding there).
     pub fn new(ctx: &'c Context, ts: &'c TransitionSystem, config: CheckConfig) -> Self {
-        let (base, step) = match config.unroll_mode {
+        let base = Unroller::new_guarded(ctx, ts, true);
+        let step = match config.unroll_mode {
             UnrollMode::Template => {
                 let tpl = std::sync::Arc::new(genfv_ir::Template::build(ctx, ts));
-                (
-                    Unroller::with_shared_template(ctx, ts, true, true, tpl.clone()),
-                    Unroller::with_shared_template(ctx, ts, false, true, tpl),
-                )
+                Unroller::with_shared_template(ctx, ts, false, true, tpl)
             }
-            UnrollMode::DagWalk => {
-                (Unroller::new_guarded(ctx, ts, true), Unroller::new_guarded(ctx, ts, false))
-            }
+            UnrollMode::DagWalk => Unroller::new_guarded(ctx, ts, false),
         };
         ProofSession {
             ctx,

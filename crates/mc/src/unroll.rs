@@ -22,13 +22,17 @@
 //!
 //! How a new frame's CNF is produced is selected by [`UnrollMode`]:
 //!
-//! * [`UnrollMode::Template`] (production default) — the transition
-//!   relation, constraints, and signal cones are blasted **once** into a
-//!   relocatable [`genfv_ir::Template`]; each frame is then stamped by a
-//!   bulk clause-arena copy with a per-literal offset add and chained to
-//!   its predecessor by state-equality links. A reset-pinned frame 0
-//!   keeps the classic DAG-walk path so reset constants still fold
-//!   through the first transition.
+//! * [`UnrollMode::Template`] (production default) — for a *free-start*
+//!   unrolling (the induction-step direction), the transition relation
+//!   and constraints are blasted **once** into a relocatable
+//!   [`genfv_ir::Template`]; each frame is then stamped by a bulk
+//!   clause-arena copy with a per-literal offset add, substituting
+//!   current-state literals with the predecessor's next-state outputs
+//!   (no linking clauses — state literals chain exactly like the DAG
+//!   walk). A *reset-pinned* unrolling keeps the DAG-walk path for
+//!   every frame: constant folding specialises pinned frames (on
+//!   deterministic cones they cost no clauses at all), which a uniform
+//!   frame copy can never beat.
 //! * [`UnrollMode::DagWalk`] — the original per-frame expression-DAG walk
 //!   with direct Tseitin encoding; preserved as the differential oracle
 //!   (`template_differential` in `genfv-designs`) and for the
@@ -171,38 +175,31 @@ impl<'c> Unroller<'c> {
 
     fn push_frame(&mut self) {
         let idx = self.frames.len();
-        // A reset-pinned frame 0 always takes the DAG-walk path: binding
+        // A reset-pinned unrolling always takes the DAG-walk path: binding
         // init values as constants lets the blaster fold reset state
-        // through the first transition, which template stamping cannot.
-        let stamp_this =
-            self.mode == UnrollMode::Template && !(idx == 0 && self.init == InitMode::Pinned);
+        // through the whole unrolling, so pinned frames are *not*
+        // frame-uniform — on deterministic cones they cost no clauses at
+        // all, which stamping a generic frame copy can never beat. The
+        // free-start (induction-step) direction is where every frame is
+        // the same relation and stamping wins.
+        let stamp_this = self.mode == UnrollMode::Template && self.init == InitMode::Free;
         let mut env = LitEnv::new();
         let stamp = if stamp_this {
             let tpl = self.ensure_template();
-            // Resolve the predecessor's next-state outputs *before*
-            // stamping: for a stamped predecessor this is pure offset
-            // arithmetic; for a DAG-walked predecessor (pinned frame 0)
-            // it blasts the next functions once, folding reset constants.
+            // The predecessor's next-state outputs resolve by pure offset
+            // arithmetic (the mode is fixed at construction, so every
+            // frame of a stamping unroller is stamped) and substitute for
+            // the new frame's X slots: state literals chain exactly like
+            // a DAG-walked unrolling, with no linking clauses.
             let prev = if idx == 0 {
                 None
             } else {
-                Some(match self.stamps[idx - 1] {
-                    Some(pst) => tpl.next_state_lits(pst, self.bb.true_lit()),
-                    None => {
-                        let mut outs = Vec::with_capacity(self.ts.states().len());
-                        for st in self.ts.states() {
-                            let prev_env = &mut self.frames[idx - 1];
-                            outs.push(self.bb.blast(self.ctx, prev_env, st.next));
-                        }
-                        outs
-                    }
-                })
+                let pst =
+                    self.stamps[idx - 1].as_ref().expect("stamping unrollers stamp every frame");
+                Some(tpl.next_state_lits(pst, self.bb.true_lit()))
             };
-            let st = tpl.stamp(self.bb.solver_mut());
-            tpl.bind_frame(st, &mut env);
-            if let Some(prev) = prev {
-                tpl.link_states(self.bb.solver_mut(), st, &prev);
-            }
+            let st = tpl.stamp(self.bb.solver_mut(), prev.as_deref());
+            tpl.bind_frame(&st, &mut env);
             Some(st)
         } else {
             if idx == 0 {
@@ -240,33 +237,30 @@ impl<'c> Unroller<'c> {
         } else {
             None
         };
-        match stamp {
-            Some(st) => {
-                // Stamped frames carry pre-encoded (polarity-aware)
-                // constraint literals; activation is positive-phase only,
-                // which is exactly what the encoding guarantees.
-                let tpl = self.template.clone().expect("stamped frame has a template");
-                let t = self.bb.true_lit();
-                for i in 0..self.ts.constraints().len() {
-                    let l = tpl.constraint_lit(st, i, t);
-                    match guard {
-                        Some(g) => {
-                            self.bb.solver_mut().add_clause([!g, l]);
-                        }
-                        None => self.bb.assert_lit(l),
+        if let Some(st) = self.stamps[idx].clone() {
+            // Stamped frames carry pre-encoded (polarity-aware)
+            // constraint literals; activation is positive-phase only,
+            // which is exactly what the encoding guarantees.
+            let tpl = self.template.clone().expect("stamped frame has a template");
+            let t = self.bb.true_lit();
+            for i in 0..self.ts.constraints().len() {
+                let l = tpl.constraint_lit(&st, i, t);
+                match guard {
+                    Some(g) => {
+                        self.bb.solver_mut().add_clause([!g, l]);
                     }
+                    None => self.bb.assert_lit(l),
                 }
             }
-            None => {
-                let constraints: Vec<ExprRef> = self.ts.constraints().to_vec();
-                for c in constraints {
-                    let l = self.lit_at(idx, c);
-                    match guard {
-                        Some(g) => {
-                            self.bb.solver_mut().add_clause([!g, l]);
-                        }
-                        None => self.bb.assert_lit(l),
+        } else {
+            let constraints: Vec<ExprRef> = self.ts.constraints().to_vec();
+            for c in constraints {
+                let l = self.lit_at(idx, c);
+                match guard {
+                    Some(g) => {
+                        self.bb.solver_mut().add_clause([!g, l]);
                     }
+                    None => self.bb.assert_lit(l),
                 }
             }
         }
@@ -286,10 +280,10 @@ impl<'c> Unroller<'c> {
     /// else (new lemmas, candidate monitors) falls back to the per-frame
     /// blaster, sharing template-covered sub-cones.
     pub fn lits_at(&mut self, frame: usize, expr: ExprRef) -> Vec<Lit> {
-        match self.stamps[frame] {
+        match self.stamps[frame].clone() {
             Some(st) => {
                 let tpl = self.template.clone().expect("stamped frame has a template");
-                tpl.materialize(self.ctx, &mut self.bb, &mut self.frames[frame], st, expr)
+                tpl.materialize(self.ctx, &mut self.bb, &mut self.frames[frame], &st, expr)
             }
             None => self.bb.blast(self.ctx, &mut self.frames[frame], expr),
         }
@@ -516,8 +510,8 @@ mod tests {
         let mut u = Unroller::with_mode(&ctx, &ts, true, true, UnrollMode::Template);
         u.ensure_frame(3);
         let l = u.lit_at(3, eq3);
-        // Frame 0 is DAG-walked with reset bound, frames 1..3 stamped and
-        // chained: count@3 == 3 must still be forced.
+        // A pinned unrolling keeps the DAG-walk (folding) path even in
+        // Template mode, so count@3 == 3 is forced outright.
         assert!(u.blaster_mut().solve_with_assumptions(&[!l]).is_unsat());
     }
 

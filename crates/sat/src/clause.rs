@@ -254,7 +254,7 @@ impl ClauseDb {
 /// let b0 = Lit::from_code(b.code() + 2 * base);
 /// assert_eq!(s.value(b0), Some(true));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ClauseBlock {
     num_vars: u32,
     /// Flat literal arena; clause `i` occupies `lits[bounds[i]..bounds[i+1]]`.
@@ -263,6 +263,15 @@ pub struct ClauseBlock {
     bounds: Vec<u32>,
     /// Unit facts, enqueued (and propagated) at instantiation time.
     units: Vec<Lit>,
+}
+
+/// An empty block over zero variables (every method relies on the
+/// leading 0 in `bounds`, so a derived all-empty default would be
+/// malformed).
+impl Default for ClauseBlock {
+    fn default() -> Self {
+        ClauseBlock::new(0)
+    }
 }
 
 impl ClauseBlock {

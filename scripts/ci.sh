@@ -4,8 +4,9 @@
 # style drift cannot accumulate, and the differential benches run in quick
 # mode as end-to-end checks (each exits nonzero on any verdict
 # divergence): e8 races incremental vs rebuild sessions, e9 races
-# single-solver vs portfolio sessions. Quick-mode JSON goes to target/ so
-# the committed full-run BENCH_*.json files (5-sample medians) are never
+# single-solver vs portfolio sessions, e10 races template-stamped vs
+# DAG-walk frame encodings. Quick-mode JSON goes to target/ so the
+# committed full-run BENCH_*.json files (5-sample medians) are never
 # clobbered by 2-sample gate numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,3 +19,5 @@ GENFV_BENCH_JSON=target/ci-BENCH_incremental.json \
     cargo run --release -p genfv-bench --bin e8_incremental_sessions -- --quick
 GENFV_BENCH_JSON=target/ci-BENCH_portfolio.json \
     cargo run --release -p genfv-bench --bin e9_portfolio -- --quick
+GENFV_BENCH_JSON=target/ci-BENCH_unroll.json \
+    cargo run --release -p genfv-bench --bin e10_template_unroll -- --quick
