@@ -1,26 +1,10 @@
 //! Design preparation: from RTL + spec + target assertions to a checkable
 //! package.
 
+use crate::error::Error;
 use genfv_ir::{Context, TransitionSystem};
 use genfv_mc::Property;
 use genfv_sva::PropertyCompiler;
-use std::error::Error;
-use std::fmt;
-
-/// Failure while preparing a design (parse/elaborate/compile).
-#[derive(Clone, Debug)]
-pub struct PrepareError {
-    /// Human-readable message.
-    pub message: String,
-}
-
-impl fmt::Display for PrepareError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "design preparation error: {}", self.message)
-    }
-}
-
-impl Error for PrepareError {}
 
 /// A target property to prove.
 #[derive(Clone, Debug)]
@@ -56,35 +40,41 @@ impl PreparedDesign {
     /// `targets` are `(name, sva_source)` pairs.
     ///
     /// # Errors
-    /// Returns [`PrepareError`] if the RTL does not parse/elaborate or a
-    /// target assertion does not compile.
+    /// Returns [`Error::Parse`] if the RTL does not parse,
+    /// [`Error::Design`] if it does not elaborate (or holds no module),
+    /// and [`Error::Compile`] if a target assertion does not compile.
     pub fn new(
         name: impl Into<String>,
         rtl: impl Into<String>,
         spec: impl Into<String>,
         targets: &[(String, String)],
-    ) -> Result<Self, PrepareError> {
+    ) -> Result<Self, Error> {
         let name = name.into();
         let rtl = rtl.into();
         let spec = spec.into();
         let modules = genfv_hdl::parse_source(&rtl)
-            .map_err(|e| PrepareError { message: format!("{name}: {e}") })?;
-        let module = modules
-            .into_iter()
-            .next()
-            .ok_or_else(|| PrepareError { message: format!("{name}: no module found") })?;
+            .map_err(|e| Error::Parse { design: name.clone(), message: e.to_string() })?;
+        let module = modules.into_iter().next().ok_or_else(|| Error::Design {
+            design: name.clone(),
+            message: "no module found".to_string(),
+        })?;
         let mut ctx = Context::new();
         let mut ts = genfv_hdl::elaborate(&mut ctx, &module)
-            .map_err(|e| PrepareError { message: format!("{name}: {e}") })?;
+            .map_err(|e| Error::Design { design: name.clone(), message: e.to_string() })?;
 
         let mut compiled = Vec::with_capacity(targets.len());
         for (tname, sva) in targets {
-            let assertion = genfv_sva::parse_assertion(sva)
-                .map_err(|e| PrepareError { message: format!("{name}/{tname}: {e}") })?;
+            let assertion = genfv_sva::parse_assertion(sva).map_err(|e| Error::Compile {
+                design: name.clone(),
+                target: tname.clone(),
+                message: e.to_string(),
+            })?;
             let mut pc = PropertyCompiler::new(&mut ctx, &mut ts);
-            let prop = pc
-                .compile(&assertion)
-                .map_err(|e| PrepareError { message: format!("{name}/{tname}: {e}") })?;
+            let prop = pc.compile(&assertion).map_err(|e| Error::Compile {
+                design: name.clone(),
+                target: tname.clone(),
+                message: e.to_string(),
+            })?;
             compiled.push(Target {
                 name: tname.clone(),
                 sva: sva.clone(),
@@ -124,6 +114,7 @@ endmodule
     #[test]
     fn reports_bad_rtl() {
         let err = PreparedDesign::new("x", "module ((", "s", &[]).unwrap_err();
+        assert!(matches!(&err, Error::Parse { design, .. } if design == "x"), "{err:?}");
         assert!(err.to_string().contains("x:"));
     }
 
@@ -136,6 +127,21 @@ endmodule
             &[("bad".to_string(), "nonexistent_signal == 1".to_string())],
         )
         .unwrap_err();
+        assert!(
+            matches!(&err, Error::Compile { design, target, .. }
+                if design == "counter" && target == "bad"),
+            "{err:?}"
+        );
         assert!(err.to_string().contains("unknown signal"), "{err}");
+    }
+
+    #[test]
+    fn reports_empty_source_as_design_error() {
+        let err = PreparedDesign::new("empty", "", "s", &[]).unwrap_err();
+        assert!(
+            matches!(&err, Error::Design { message, .. } | Error::Parse { message, .. }
+                if !message.is_empty()),
+            "{err:?}"
+        );
     }
 }

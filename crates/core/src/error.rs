@@ -1,0 +1,141 @@
+//! The typed error surface of the public API.
+//!
+//! Every fallible `genfv` entry point — design preparation, corpus
+//! scheduling, and the `genfv-service` front end — reports failures
+//! through [`Error`], replacing the `Box<dyn std::error::Error>` soup
+//! the facade used to force on callers. The variants follow the
+//! pipeline: **parse** (RTL syntax), **design** (elaboration /
+//! module-level problems), **compile** (target-assertion binding), and
+//! **service** (scheduling: backpressure, shutdown, lost workers).
+//!
+//! The enum is deliberately `Clone` (service workers report the same
+//! failure to the job's event stream *and* its final report) and
+//! carries the design / target names so multi-design batch failures
+//! stay attributable without wrapper context.
+
+use std::fmt;
+
+/// Why a `genfv` operation failed. See the [module docs](self).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The RTL source did not lex/parse.
+    Parse {
+        /// Design name the caller supplied.
+        design: String,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// The RTL parsed but did not elaborate into a transition system
+    /// (or contained no module at all).
+    Design {
+        /// Design name the caller supplied.
+        design: String,
+        /// Elaboration diagnostic.
+        message: String,
+    },
+    /// A target assertion did not parse or bind against the design.
+    Compile {
+        /// Design name the caller supplied.
+        design: String,
+        /// Target property name.
+        target: String,
+        /// Compiler diagnostic.
+        message: String,
+    },
+    /// A verification-service scheduling failure.
+    Service(ServiceError),
+}
+
+/// Scheduling failures of the `genfv-service` front end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// `try_submit` found the bounded submission queue full — typed
+    /// backpressure; retry later or use the blocking `submit`.
+    QueueFull {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service has been shut down and accepts no new jobs.
+    Closed,
+    /// A job needs a language model (Flow 1/2/Combined) but the request
+    /// carried none.
+    NoModel {
+        /// Design name of the rejected job.
+        design: String,
+    },
+    /// A worker died (panicked) before delivering the job's report.
+    WorkerLost {
+        /// Whatever is known about the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { design, message } => write!(f, "{design}: parse error: {message}"),
+            Error::Design { design, message } => write!(f, "{design}: design error: {message}"),
+            Error::Compile { design, target, message } => {
+                write!(f, "{design}/{target}: compile error: {message}")
+            }
+            Error::Service(e) => write!(f, "service error: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "submission queue full ({capacity} jobs)")
+            }
+            ServiceError::Closed => write!(f, "service is shut down"),
+            ServiceError::NoModel { design } => {
+                write!(f, "job `{design}` runs a GenAI flow but carries no language model")
+            }
+            ServiceError::WorkerLost { message } => write!(f, "worker lost: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+impl std::error::Error for ServiceError {}
+
+impl From<ServiceError> for Error {
+    fn from(e: ServiceError) -> Self {
+        Error::Service(e)
+    }
+}
+
+impl Error {
+    /// Whether this is the typed backpressure signal
+    /// ([`ServiceError::QueueFull`]).
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, Error::Service(ServiceError::QueueFull { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_names() {
+        let e = Error::Compile {
+            design: "fifo".into(),
+            target: "occ".into(),
+            message: "unknown signal".into(),
+        };
+        assert_eq!(e.to_string(), "fifo/occ: compile error: unknown signal");
+        let e = Error::Service(ServiceError::QueueFull { capacity: 4 });
+        assert!(e.is_backpressure());
+        assert!(e.to_string().contains("queue full (4 jobs)"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&Error::Parse { design: "x".into(), message: "y".into() });
+        takes(&ServiceError::Closed);
+    }
+}

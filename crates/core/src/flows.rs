@@ -184,6 +184,33 @@ impl FlowConfig {
         self
     }
 
+    /// This configuration with `check` as the target-proof induction
+    /// settings (candidate validation keeps its own [`ValidateConfig`]).
+    pub fn with_check(mut self, check: CheckConfig) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// This configuration with `validate` as the candidate-validation
+    /// settings.
+    pub fn with_validate(mut self, validate: ValidateConfig) -> Self {
+        self.validate = validate;
+        self
+    }
+
+    /// This configuration with at most `n` LLM repair iterations (Flow 2).
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// This configuration with Houdini over individually-non-inductive
+    /// candidates switched on or off.
+    pub fn with_houdini(mut self, on: bool) -> Self {
+        self.use_houdini = on;
+        self
+    }
+
     /// The frame-encoding mode of this flow's session unrollers.
     pub fn unroll_mode(&self) -> UnrollMode {
         self.check.unroll_mode

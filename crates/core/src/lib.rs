@@ -37,13 +37,29 @@
 //! without re-bit-blasting. Solver-reuse counters surface in
 //! [`FlowMetrics::solver`].
 //!
-//! **Portfolio solving and corpus sharding.** Any session query can be
+//! **Portfolio solving and corpus scheduling.** Any session query can be
 //! answered by racing jittered solver configurations on clones of the
 //! loaded clause database ([`FlowConfig::with_portfolio`], implemented in
 //! `genfv-portfolio` and benchmarked by `e9_portfolio`), and whole design
-//! corpora distribute over worker threads with [`run_corpus`] — each job
-//! keeping the long-lived sessions the flows already use, with reports
-//! stitched back in submission order independent of scheduling.
+//! corpora distribute over the persistent worker pool of the
+//! `genfv-service` crate's `VerificationService` (driven by
+//! [`CorpusConfig`]; `genfv_service::run_corpus` is the synchronous
+//! wrapper) — each job keeping the long-lived sessions the flows already
+//! use, with reports stitched back in submission order independent of
+//! scheduling.
+//!
+//! **Builder convention.** Every configuration struct in the workspace
+//! ([`FlowConfig`], [`ValidateConfig`], [`CorpusConfig`],
+//! `genfv_mc::CheckConfig`, `genfv_service::ServiceConfig`, …) follows
+//! one shape: construct the sensible default with [`Default::default`],
+//! then refine it with chainable consuming `with_*` methods —
+//! `CorpusConfig::default().with_workers(4).with_mode(CorpusMode::Baseline)`.
+//! The fields stay `pub` so struct-literal updates keep working, but the
+//! `with_*` form is the documented style and what the examples use.
+//!
+//! **Typed errors.** Every fallible entry point returns
+//! [`enum@Error`] — parse / design / compile / service variants carrying
+//! the design and target names — instead of `Box<dyn std::error::Error>`.
 //!
 //! ```no_run
 //! use genfv_core::{PreparedDesign, run_flow2, FlowConfig};
@@ -59,13 +75,14 @@
 //! let report = run_flow2(design, &mut llm, &FlowConfig::default());
 //! assert!(report.all_proven());
 //! # const RTL: &str = "";
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), genfv_core::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod design;
+pub mod error;
 pub mod flows;
 pub mod houdini;
 pub mod parallel;
@@ -73,7 +90,8 @@ pub mod report;
 pub mod shard;
 pub mod validate;
 
-pub use design::{PrepareError, PreparedDesign, Target};
+pub use design::{PreparedDesign, Target};
+pub use error::{Error, ServiceError};
 pub use flows::{
     run_baseline, run_combined, run_flow1, run_flow2, FlowConfig, FlowMetrics, FlowReport,
     TargetOutcome, TargetReport,
@@ -81,7 +99,7 @@ pub use flows::{
 pub use houdini::{houdini, validate_batch, HoudiniResult};
 pub use parallel::validate_parallel;
 pub use report::{render_events, render_report, summarize_targets, Table};
-pub use shard::{run_corpus, CorpusConfig, CorpusMode};
+pub use shard::{CorpusConfig, CorpusMode};
 pub use validate::{
     install_lemma, validate_candidate, Candidate, Lemma, ValidateConfig, ValidationOutcome,
 };

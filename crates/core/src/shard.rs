@@ -1,33 +1,29 @@
-//! Corpus-level shard scheduling: many designs, many workers, long-lived
-//! sessions.
+//! Corpus-level scheduling configuration: many designs, many workers,
+//! long-lived sessions.
 //!
-//! The flows in [`crate::flows`] already amortise solver state *within*
-//! one design (persistent [`genfv_mc::ProofSession`]s, sharded candidate
-//! validation, Houdini on one session). Serving heavy multi-user traffic
-//! additionally needs to scale *across* designs: a verification service
-//! holds a queue of `(design, targets)` jobs and wants them spread over
-//! every core with no idle tails.
+//! The flows in [`crate::flows`] amortise solver state *within* one
+//! design (persistent [`genfv_mc::ProofSession`]s, sharded candidate
+//! validation, Houdini on one session). Scaling *across* designs — a
+//! queue of `(design, targets)` jobs spread over every core — is the job
+//! of the **`genfv-service`** crate's `VerificationService`: a bounded
+//! submission queue, a persistent worker pool, a design-hash-keyed cache
+//! of warm session capital, and request batching. Its synchronous
+//! convenience wrapper `genfv_service::run_corpus` (re-exported through
+//! the `genfv` facade prelude) is driven by the [`CorpusConfig`] defined
+//! here, so there is exactly **one scheduler** in the stack; earlier
+//! revisions kept a second, ad-hoc work-stealing pool in this module.
 //!
-//! [`run_corpus`] is that scheduler. Worker threads pull jobs from a
-//! shared cursor (work stealing over an atomic index, so a slow design
-//! never stalls the queue behind it), run the configured flow — each job
-//! getting its own long-lived sessions inside the flow — and the results
-//! are stitched back in submission order. Each job's LLM is created by a
-//! caller-supplied factory keyed on the job index, so reports are
-//! *scheduling-independent*: whichever worker picks up job `i`, it
-//! prompts the same model state and reproduces the sequential run's
-//! report exactly (the `corpus_matches_sequential` test pins this).
+//! This module owns only the *what-to-run* types ([`CorpusMode`],
+//! [`CorpusConfig`]) so that `genfv-core` stays free of any dependency
+//! on the service layer that executes them.
 //!
 //! Portfolio note: per-query portfolio racing
-//! ([`crate::FlowConfig::with_portfolio`]) composes with corpus sharding,
-//! but both multiply CPU use — keep `workers × portfolio workers` within
-//! the machine's core count, or rely on the portfolio's probe to keep the
-//! racing occasional.
+//! ([`crate::FlowConfig::with_portfolio`]) composes with corpus
+//! scheduling, but both multiply CPU use — keep `workers × portfolio
+//! workers` within the machine's core count, or rely on the portfolio's
+//! probe to keep the racing occasional.
 
-use crate::design::PreparedDesign;
-use crate::flows::{run_baseline, run_combined, run_flow1, run_flow2, FlowConfig, FlowReport};
-use genfv_genai::LanguageModel;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::flows::FlowConfig;
 
 /// Which flow every corpus job runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,11 +34,21 @@ pub enum CorpusMode {
     Flow2,
     /// Flow 1 then Flow 2 ("we utilized both flows").
     Combined,
-    /// Plain k-induction, no GenAI (the LLM factory is not called).
+    /// Plain k-induction, no GenAI (no language model is consulted).
     Baseline,
 }
 
-/// Corpus scheduler configuration.
+impl CorpusMode {
+    /// Whether jobs in this mode consult a language model.
+    pub fn needs_model(self) -> bool {
+        !matches!(self, CorpusMode::Baseline)
+    }
+}
+
+/// Corpus scheduler configuration (executed by `genfv-service`).
+///
+/// Follows the workspace builder convention (see the [crate
+/// docs](crate)): construct with [`Default`], refine with `with_*`.
 #[derive(Clone, Debug)]
 pub struct CorpusConfig {
     /// Worker threads pulling jobs (0 = one per available core, capped by
@@ -60,184 +66,36 @@ impl Default for CorpusConfig {
     }
 }
 
-/// Runs one flow per prepared design, distributed over worker threads.
-///
-/// `make_llm` builds the language model for job `i`; it is called on the
-/// worker that claims the job, so it must be `Sync` but the model itself
-/// need not be. Results are index-aligned with `designs` regardless of
-/// which worker ran what.
-pub fn run_corpus<L, F>(
-    designs: &[PreparedDesign],
-    make_llm: F,
-    config: &CorpusConfig,
-) -> Vec<FlowReport>
-where
-    L: LanguageModel,
-    F: Fn(usize) -> L + Sync,
-{
-    if designs.is_empty() {
-        return Vec::new();
-    }
-    let workers = if config.workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
-    } else {
-        config.workers
-    }
-    .min(designs.len())
-    .max(1);
-
-    if workers == 1 {
-        return designs.iter().enumerate().map(|(i, d)| run_job(d, i, &make_llm, config)).collect();
+impl CorpusConfig {
+    /// This configuration with `workers` threads (0 = one per core).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
-    let cursor = AtomicUsize::new(0);
-    let mut results: Vec<(usize, FlowReport)> = Vec::with_capacity(designs.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let cursor = &cursor;
-            let make_llm = &make_llm;
-            handles.push(scope.spawn(move || {
-                let mut mine = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(design) = designs.get(i) else { break };
-                    mine.push((i, run_job(design, i, make_llm, config)));
-                }
-                mine
-            }));
-        }
-        for handle in handles {
-            results.extend(handle.join().expect("corpus worker panicked"));
-        }
-    });
-    results.sort_unstable_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, r)| r).collect()
-}
+    /// This configuration with every job running `mode`.
+    pub fn with_mode(mut self, mode: CorpusMode) -> Self {
+        self.mode = mode;
+        self
+    }
 
-fn run_job<L, F>(
-    design: &PreparedDesign,
-    index: usize,
-    make_llm: &F,
-    config: &CorpusConfig,
-) -> FlowReport
-where
-    L: LanguageModel,
-    F: Fn(usize) -> L + Sync,
-{
-    match config.mode {
-        CorpusMode::Baseline => run_baseline(design, &config.flow),
-        CorpusMode::Flow1 => run_flow1(design.clone(), &mut make_llm(index), &config.flow),
-        CorpusMode::Flow2 => run_flow2(design.clone(), &mut make_llm(index), &config.flow),
-        CorpusMode::Combined => run_combined(design.clone(), &mut make_llm(index), &config.flow),
+    /// This configuration with `flow` as every job's flow configuration.
+    pub fn with_flow(mut self, flow: FlowConfig) -> Self {
+        self.flow = flow;
+        self
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flows::TargetOutcome;
-    use genfv_genai::{ModelProfile, SyntheticLlm};
-
-    const SYNC: &str = r#"
-module sync_counters (input clk, rst, output logic [7:0] count1, count2);
-  always @(posedge clk or posedge rst) begin
-    if (rst) begin
-      count1 <= 8'b0;
-      count2 <= 8'b0;
-    end else begin
-      count1++;
-      count2++;
-    end
-  end
-endmodule
-"#;
-
-    const RING: &str = r#"
-module ring (input clk, rst, output logic [3:0] state);
-  always_ff @(posedge clk) begin
-    if (rst) state <= 4'b0001;
-    else state <= {state[2:0], state[3]};
-  end
-endmodule
-"#;
-
-    fn corpus() -> Vec<PreparedDesign> {
-        vec![
-            PreparedDesign::new(
-                "sync_counters",
-                SYNC,
-                "lockstep counters",
-                &[("equal".into(), "&count1 |-> &count2".into())],
-            )
-            .unwrap(),
-            PreparedDesign::new(
-                "ring",
-                RING,
-                "one-hot ring",
-                &[("stays".into(), "state != 4'd0".into())],
-            )
-            .unwrap(),
-            PreparedDesign::new(
-                "sync_again",
-                SYNC,
-                "lockstep counters",
-                &[("eq2".into(), "count1 == count2".into())],
-            )
-            .unwrap(),
-        ]
-    }
-
-    fn outcome_class(o: &TargetOutcome) -> u8 {
-        match o {
-            TargetOutcome::Proven { .. } => 0,
-            TargetOutcome::Falsified { .. } => 1,
-            TargetOutcome::StillUnproven { .. } => 2,
-            TargetOutcome::Unknown { .. } => 3,
-        }
-    }
 
     #[test]
-    fn corpus_matches_sequential() {
-        let designs = corpus();
-        let make_llm = |i: usize| SyntheticLlm::new(ModelProfile::GptFourTurbo, 42 + i as u64);
-        let config = CorpusConfig { workers: 3, ..Default::default() };
-        let sharded = run_corpus(&designs, make_llm, &config);
-        let sequential: Vec<_> = designs
-            .iter()
-            .enumerate()
-            .map(|(i, d)| run_flow2(d.clone(), &mut make_llm(i), &config.flow))
-            .collect();
-        assert_eq!(sharded.len(), sequential.len());
-        for (s, q) in sharded.iter().zip(&sequential) {
-            assert_eq!(s.design, q.design, "order must be submission order");
-            let sc: Vec<u8> = s.targets.iter().map(|t| outcome_class(&t.outcome)).collect();
-            let qc: Vec<u8> = q.targets.iter().map(|t| outcome_class(&t.outcome)).collect();
-            assert_eq!(sc, qc, "scheduling must not change verdicts on {}", s.design);
-            let sl: Vec<&str> = s.lemmas.iter().map(|l| l.text.as_str()).collect();
-            let ql: Vec<&str> = q.lemmas.iter().map(|l| l.text.as_str()).collect();
-            assert_eq!(sl, ql, "scheduling must not change lemmas on {}", s.design);
-        }
-    }
-
-    #[test]
-    fn baseline_mode_needs_no_llm() {
-        let designs = corpus();
-        let config = CorpusConfig { workers: 2, mode: CorpusMode::Baseline, ..Default::default() };
-        let reports = run_corpus(
-            &designs,
-            |_: usize| -> SyntheticLlm { panic!("baseline must not build an LLM") },
-            &config,
-        );
-        assert_eq!(reports.len(), designs.len());
-        assert!(reports.iter().all(|r| r.model.contains("baseline")));
-    }
-
-    #[test]
-    fn empty_corpus_is_fine() {
-        let config = CorpusConfig::default();
-        let out =
-            run_corpus(&[], |i| SyntheticLlm::new(ModelProfile::GptFourTurbo, i as u64), &config);
-        assert!(out.is_empty());
+    fn builders_chain() {
+        let c = CorpusConfig::default().with_workers(3).with_mode(CorpusMode::Baseline);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.mode, CorpusMode::Baseline);
+        assert!(!c.mode.needs_model());
+        assert!(CorpusMode::Flow2.needs_model());
     }
 }

@@ -72,7 +72,7 @@ impl DesignBundle {
     /// # Errors
     /// Propagates parse/elaborate/compile failures (none occur for the
     /// shipped corpus; the error path serves downstream users).
-    pub fn prepare(&self) -> Result<genfv_core::PreparedDesign, genfv_core::PrepareError> {
+    pub fn prepare(&self) -> Result<genfv_core::PreparedDesign, genfv_core::Error> {
         genfv_core::PreparedDesign::new(self.name, self.rtl, self.spec, &self.targets)
     }
 }

@@ -19,6 +19,14 @@ impl ExprRef {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The reference with dense index `i` — the inverse of
+    /// [`ExprRef::index`]. Only meaningful against a context with more
+    /// than `i` nodes (e.g. when enumerating `0..ctx.num_nodes()`).
+    #[inline]
+    pub fn from_index(i: usize) -> ExprRef {
+        ExprRef(i as u32)
+    }
 }
 
 impl fmt::Debug for ExprRef {

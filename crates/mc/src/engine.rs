@@ -150,6 +150,13 @@ pub struct CheckConfig {
     /// (see [`crate::unroll::UnrollMode`]). The rebuild-per-query
     /// reference engines always DAG-walk.
     pub unroll_mode: crate::unroll::UnrollMode,
+    /// Warm-start capital shared across sessions over one design (see
+    /// [`crate::session::SessionSeed`]): the template and clean-depth
+    /// pool of the `genfv-service` session cache. Sessions adopt the
+    /// seed only when its fingerprint matches the design they are built
+    /// for, so a stale handle is inert rather than unsound. `None` (the
+    /// default) starts every session cold.
+    pub seed: Option<std::sync::Arc<crate::session::SessionSeed>>,
 }
 
 impl Default for CheckConfig {
@@ -160,6 +167,7 @@ impl Default for CheckConfig {
             conflict_budget: None,
             portfolio: None,
             unroll_mode: crate::unroll::UnrollMode::default(),
+            seed: None,
         }
     }
 }

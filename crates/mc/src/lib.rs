@@ -70,7 +70,7 @@ pub mod wave;
 pub use engine::{bmc, BmcResult, CheckConfig, CheckStats, KInduction, Property, ProveResult};
 pub use genfv_portfolio::{Portfolio, PortfolioConfig, RaceOutcome, WorkerStats};
 pub use rebuild::{bmc_rebuild, prove_all_rebuild, prove_rebuild, EngineMode};
-pub use session::{ProofSession, SessionStats};
+pub use session::{ProofSession, SessionSeed, SessionStats};
 pub use trace::{read_symbol_cycles, Trace, TraceKind, TraceStep};
 pub use unroll::{UnrollMode, Unroller};
 pub use wave::{render_final_bits, render_waveform, to_vcd};

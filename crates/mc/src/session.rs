@@ -56,9 +56,176 @@
 use crate::engine::{BmcResult, CheckConfig, CheckStats, Property, ProveResult};
 use crate::trace::{read_symbol_cycles, Trace, TraceKind};
 use crate::unroll::{UnrollMode, Unroller};
-use genfv_ir::{Context, ExprRef, TransitionSystem};
+use genfv_ir::{Context, ExprRef, Template, TransitionSystem};
 use genfv_sat::{ActivationGroup, Lit, SolveResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Shared warm-start capital for sessions over one design: the cross-
+/// session (and cross-thread) handle behind the `genfv-service` session
+/// cache.
+///
+/// A [`ProofSession`] is tied to one borrow of a design, so it cannot
+/// itself outlive a request. What *can* outlive the request is the
+/// session's transferable capital:
+///
+/// * the **step-direction [`Template`]** — the one-time blast of the
+///   transition relation that [`UnrollMode::Template`] frames stamp from.
+///   Building it is the dominant fixed cost of a fresh session; every
+///   identically-laid-out design can stamp from the same block;
+/// * the **clean-depth facts** — "no violation of `ok` at cycle `k` from
+///   reset" answers (UNSAT base cases). These are sound facts about the
+///   design alone: they are discovered with only *proven* lemmas assumed,
+///   so they hold in every future session over the same design and let
+///   repeat traffic skip its base cases outright.
+///
+/// Attach a seed through [`CheckConfig::seed`]; [`ProofSession::new`]
+/// adopts it only when the seed's **fingerprint** matches the design it
+/// is given (node/state/constraint layout), so a seed built for one
+/// design can never leak a template or clean facts into a *mutated*
+/// design (e.g. after a lemma monitor is compiled in) or into the
+/// monitor-augmented clones candidate validation works on — those
+/// sessions silently run unseeded. Sessions publish newly learnt clean
+/// depths back into the seed when they are dropped, so capital compounds
+/// across requests. All methods are thread-safe; merging is monotone
+/// (`max` per property), so concurrent sessions only ever strengthen the
+/// pool.
+///
+/// Under a [`CheckConfig::conflict_budget`] a seeded session can answer
+/// *more* than a cold one (a skipped base case consumes no budget); it
+/// can never answer differently on queries both complete.
+#[derive(Debug)]
+pub struct SessionSeed {
+    /// Layout fingerprint of the design this seed belongs to.
+    fingerprint: u64,
+    /// The shared step-direction template, built by the first seeded
+    /// session that needs it.
+    template: Mutex<Option<Arc<Template>>>,
+    /// Deepest from-reset cycle proven violation-free per observable,
+    /// merged from every seeded session over this design.
+    clean: Mutex<HashMap<ExprRef, usize>>,
+    /// Times a session reused the already-built template.
+    template_reuses: AtomicU64,
+    /// Times a session had to build the template (0 or 1 in practice).
+    template_builds: AtomicU64,
+}
+
+impl SessionSeed {
+    /// Creates an empty seed for the given design.
+    pub fn for_design(ctx: &Context, ts: &TransitionSystem) -> Arc<SessionSeed> {
+        Arc::new(SessionSeed {
+            fingerprint: Self::fingerprint(ctx, ts),
+            template: Mutex::new(None),
+            clean: Mutex::new(HashMap::new()),
+            template_reuses: AtomicU64::new(0),
+            template_builds: AtomicU64::new(0),
+        })
+    }
+
+    /// A layout fingerprint: every hash-consed node's content plus the
+    /// expression indices of every state, input, constraint, and signal.
+    /// Two designs prepared from identical sources share it; compiling
+    /// anything further onto the design (lemma monitors, candidate
+    /// monitors) changes it. Only compared within one process, so the
+    /// std hasher's stability guarantees suffice.
+    pub fn fingerprint(ctx: &Context, ts: &TransitionSystem) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut nodes = std::collections::hash_map::DefaultHasher::new();
+        for i in 0..ctx.num_nodes() {
+            ctx.expr(ExprRef::from_index(i)).hash(&mut nodes);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(ctx.num_nodes() as u64);
+        mix(nodes.finish());
+        for s in ts.states() {
+            mix(s.symbol.index() as u64);
+            mix(s.init.map(|e| e.index() as u64 + 1).unwrap_or(0));
+            mix(s.next.index() as u64);
+        }
+        for &i in ts.inputs() {
+            mix(i.index() as u64);
+        }
+        for &c in ts.constraints() {
+            mix(c.index() as u64);
+        }
+        mix(ts.signals().len() as u64);
+        h
+    }
+
+    /// Whether this seed was built for a design with this layout.
+    pub fn matches(&self, ctx: &Context, ts: &TransitionSystem) -> bool {
+        self.fingerprint == Self::fingerprint(ctx, ts)
+    }
+
+    /// The shared template, building it on first use. Callers must have
+    /// checked [`SessionSeed::matches`] first.
+    fn template_for(&self, ctx: &Context, ts: &TransitionSystem) -> Arc<Template> {
+        let mut slot = self.template.lock().expect("seed template lock");
+        match &*slot {
+            Some(t) => {
+                self.template_reuses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(t)
+            }
+            None => {
+                let t = Arc::new(Template::build(ctx, ts));
+                self.template_builds.fetch_add(1, Ordering::Relaxed);
+                *slot = Some(Arc::clone(&t));
+                t
+            }
+        }
+    }
+
+    /// Whether the template has already been built (a session created now
+    /// would stamp without paying the blast).
+    pub fn template_ready(&self) -> bool {
+        self.template.lock().expect("seed template lock").is_some()
+    }
+
+    /// Times sessions reused the already-built template.
+    pub fn template_reuses(&self) -> u64 {
+        self.template_reuses.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the pooled clean depths.
+    fn clean_snapshot(&self) -> HashMap<ExprRef, usize> {
+        self.clean.lock().expect("seed clean lock").clone()
+    }
+
+    /// Number of observables with a pooled clean depth.
+    pub fn clean_entries(&self) -> usize {
+        self.clean.lock().expect("seed clean lock").len()
+    }
+
+    /// Merges a dying session's clean depths into the pool (monotone:
+    /// depths only deepen).
+    fn publish_clean(&self, facts: &HashMap<ExprRef, usize>) {
+        let mut pool = self.clean.lock().expect("seed clean lock");
+        for (&ok, &k) in facts {
+            let entry = pool.entry(ok).or_insert(k);
+            *entry = (*entry).max(k);
+        }
+    }
+
+    /// Rough heap footprint (template clause arena plus the clean pool),
+    /// for cache byte budgets.
+    pub fn approx_bytes(&self) -> usize {
+        let template = self
+            .template
+            .lock()
+            .expect("seed template lock")
+            .as_ref()
+            // ~16 bytes per clause of arena payload plus per-var metadata.
+            .map(|t| t.num_clauses() * 16 + t.num_vars() as usize * 8)
+            .unwrap_or(0);
+        template + self.clean.lock().expect("seed clean lock").len() * 24
+    }
+}
 
 /// Observability for one [`ProofSession`]: how much work the persistent
 /// solvers absorbed that a rebuild-per-query architecture would have
@@ -97,6 +264,12 @@ pub struct SessionStats {
     pub portfolio_races: u64,
     /// Glue clauses imported from losing portfolio workers.
     pub portfolio_glue_shared: u64,
+    /// Base-case queries skipped outright because a [`SessionSeed`]
+    /// carried the clean-depth fact in from an earlier session.
+    pub clean_seed_hits: u64,
+    /// Sessions that stamped from a seed's already-built template instead
+    /// of blasting their own.
+    pub templates_reused: u64,
 }
 
 impl SessionStats {
@@ -122,6 +295,8 @@ impl SessionStats {
         self.propagations += other.propagations;
         self.portfolio_races += other.portfolio_races;
         self.portfolio_glue_shared += other.portfolio_glue_shared;
+        self.clean_seed_hits += other.clean_seed_hits;
+        self.templates_reused += other.templates_reused;
     }
 }
 
@@ -167,6 +342,13 @@ pub struct ProofSession<'c> {
     /// *stable* literal and transfer across induction depths (and across
     /// the properties of a shared session).
     step_prop_guards: std::collections::HashMap<ExprRef, (Lit, usize)>,
+    /// Warm-start capital adopted from [`CheckConfig::seed`] when the
+    /// seed's fingerprint matches this design; learnt clean depths are
+    /// published back into it when the session drops.
+    seed: Option<Arc<SessionSeed>>,
+    /// The clean depths that came in from the seed, kept apart from
+    /// locally-discovered ones so seed hits are attributable.
+    seeded_clean: HashMap<ExprRef, usize>,
     /// Simple-path activation literal (created on first use, step side).
     sp_guard: Option<Lit>,
     /// Simple-path pairs exist for all `(i, j)` with `j <= sp_frames`.
@@ -190,14 +372,30 @@ impl<'c> ProofSession<'c> {
     /// always keeps the constant-folding DAG-walk path (pinned frames are
     /// not frame-uniform, so stamping cannot beat folding there).
     pub fn new(ctx: &'c Context, ts: &'c TransitionSystem, config: CheckConfig) -> Self {
+        // Adopt the caller's seed only when it was built for exactly this
+        // design layout — validation clones (extra monitor state) and
+        // post-lemma-install designs silently run unseeded.
+        let seed = config.seed.as_ref().filter(|s| s.matches(ctx, ts)).map(Arc::clone);
+        let mut stats = SessionStats { bitblasts: 1, ..Default::default() };
         let base = Unroller::new_guarded(ctx, ts, true);
         let step = match config.unroll_mode {
             UnrollMode::Template => {
-                let tpl = std::sync::Arc::new(genfv_ir::Template::build(ctx, ts));
+                let tpl = match &seed {
+                    Some(s) => {
+                        let ready = s.template_ready();
+                        let t = s.template_for(ctx, ts);
+                        if ready {
+                            stats.templates_reused += 1;
+                        }
+                        t
+                    }
+                    None => Arc::new(Template::build(ctx, ts)),
+                };
                 Unroller::with_shared_template(ctx, ts, false, true, tpl)
             }
             UnrollMode::DagWalk => Unroller::new_guarded(ctx, ts, false),
         };
+        let seeded_clean = seed.as_ref().map(|s| s.clean_snapshot()).unwrap_or_default();
         ProofSession {
             ctx,
             ts,
@@ -207,13 +405,15 @@ impl<'c> ProofSession<'c> {
             lemmas: Vec::new(),
             lemma_frames_base: 0,
             lemma_frames_step: 0,
-            clean_upto: std::collections::HashMap::new(),
+            clean_upto: seeded_clean.clone(),
             step_prop_guards: std::collections::HashMap::new(),
+            seed,
+            seeded_clean,
             sp_guard: None,
             sp_frames: 0,
             selectors: ActivationGroup::new(),
             last_effort: (0, 0, 0),
-            stats: SessionStats { bitblasts: 1, ..Default::default() },
+            stats,
         }
     }
 
@@ -458,7 +658,10 @@ impl<'c> ProofSession<'c> {
         let skip = self.clean_upto.get(&property.ok).copied();
         for k in 0..=depth {
             if skip.is_some_and(|clean| k <= clean) {
-                continue; // proven clean by an earlier query on this session
+                // Proven clean by an earlier query on this session (or by
+                // a previous session that published into the seed).
+                self.note_clean_skip(property.ok, k);
+                continue;
             }
             self.ensure_frames_dir(Dir::Base, k);
             let bad = !self.base.lit_at(k, property.ok);
@@ -495,6 +698,15 @@ impl<'c> ProofSession<'c> {
         *entry = (*entry).max(k);
     }
 
+    /// Accounts for a skipped base-case query: if the clean fact that
+    /// carried it arrived through the seed (rather than an earlier query
+    /// on this session), it is a cross-session cache hit.
+    fn note_clean_skip(&mut self, ok: ExprRef, k: usize) {
+        if self.seeded_clean.get(&ok).is_some_and(|&clean| k <= clean) {
+            self.stats.clean_seed_hits += 1;
+        }
+    }
+
     /// Bounded reachability without trace extraction: the earliest cycle
     /// `<= depth` at which `ok` is violated from reset, or `None` if the
     /// bound is clean. Queries frame by frame (early exit on the first
@@ -506,7 +718,10 @@ impl<'c> ProofSession<'c> {
         let skip = self.clean_upto.get(&ok).copied();
         for k in 0..=depth {
             if skip.is_some_and(|clean| k <= clean) {
-                continue; // proven clean by an earlier query on this session
+                // Proven clean by an earlier query on this session (or by
+                // a previous session that published into the seed).
+                self.note_clean_skip(ok, k);
+                continue;
             }
             self.ensure_frames_dir(Dir::Base, k);
             let bad = !self.base.lit_at(k, ok);
@@ -543,7 +758,9 @@ impl<'c> ProofSession<'c> {
             // gauntlet's sanity check makes this the common case).
             let cached_clean =
                 self.clean_upto.get(&property.ok).is_some_and(|&clean| k - 1 <= clean);
-            if !cached_clean {
+            if cached_clean {
+                self.note_clean_skip(property.ok, k - 1);
+            } else {
                 self.ensure_frames_dir(Dir::Base, k - 1);
                 let bad_base = !self.base.lit_at(k - 1, property.ok);
                 let res = self.solve_on(Dir::Base, k - 1, &[bad_base]);
@@ -634,6 +851,19 @@ impl<'c> ProofSession<'c> {
                 reason: "no induction depth attempted (max_k = 0?)".to_string(),
                 stats,
             },
+        }
+    }
+}
+
+impl Drop for ProofSession<'_> {
+    /// Publishes this session's clean-depth facts into its seed (if any):
+    /// the capital the next session over the same design starts from.
+    /// Sound because every recorded fact is an UNSAT from-reset answer
+    /// under proven-invariant assumptions only — a property of the design
+    /// itself, not of this session's query history.
+    fn drop(&mut self) {
+        if let Some(seed) = &self.seed {
+            seed.publish_clean(&self.clean_upto);
         }
     }
 }
@@ -767,6 +997,50 @@ mod tests {
             other => panic!("expected falsification from both: {other:?}"),
         }
         assert_eq!(raced.stats().bitblasts, 1, "racing must not re-bit-blast");
+    }
+
+    #[test]
+    fn seed_carries_template_and_clean_depths_across_sessions() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let five = ctx.constant(5, 4);
+        let lt5 = ctx.ult(c, five);
+        let eventually_false = Property::new("lt5", lt5);
+        let seed = SessionSeed::for_design(&ctx, &ts);
+        let config = CheckConfig { seed: Some(Arc::clone(&seed)), ..Default::default() };
+
+        // First session: builds the template, discovers clean depths.
+        {
+            let mut s = ProofSession::new(&ctx, &ts, config.clone());
+            assert_eq!(s.stats().templates_reused, 0, "first session blasts");
+            match s.bmc_check(&eventually_false, 8) {
+                BmcResult::Falsified { at, .. } => assert_eq!(at, 5),
+                other => panic!("expected falsification: {other:?}"),
+            }
+        } // drop publishes cycles 0..=4 clean into the seed
+        assert!(seed.template_ready());
+        assert!(seed.clean_entries() > 0);
+
+        // Second session: stamps from the shared template and skips the
+        // published base cases — same verdict, fewer queries.
+        let mut warm = ProofSession::new(&ctx, &ts, config.clone());
+        assert_eq!(warm.stats().templates_reused, 1);
+        match warm.bmc_check(&eventually_false, 8) {
+            BmcResult::Falsified { at, .. } => assert_eq!(at, 5),
+            other => panic!("expected falsification: {other:?}"),
+        }
+        assert!(warm.stats().clean_seed_hits >= 5, "cycles 0..=4 skipped from the seed");
+
+        // A mutated design (different layout) must not adopt the seed.
+        let mut ctx2 = Context::new();
+        let ts2 = counter(&mut ctx2);
+        let extra = ctx2.constant(7, 4);
+        let c2 = ctx2.find_symbol("count").unwrap();
+        let _monitor = ctx2.eq(c2, extra);
+        assert!(!seed.matches(&ctx2, &ts2));
+        let cold = ProofSession::new(&ctx2, &ts2, config.clone());
+        assert_eq!(cold.stats().templates_reused, 0);
     }
 
     #[test]

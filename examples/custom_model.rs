@@ -90,7 +90,7 @@ impl<M: LanguageModel> LanguageModel for FilteredModel<M> {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     let bundle = genfv::designs::by_name("sync_counters_16").expect("corpus");
 
     println!("=== Flow 2 with a hand-rolled rule-based model ===");

@@ -10,7 +10,7 @@
 
 use genfv::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     for name in ["parity_pipe", "hamming74", "secded84", "ecc_counter"] {
         let bundle = genfv::designs::by_name(name).expect("corpus design");
         println!("────────────────────────────────────────────────────────");

@@ -11,7 +11,7 @@ use genfv::genai::{LanguageModel, Prompt};
 use genfv::prelude::*;
 use std::collections::BTreeMap;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     let bundle = genfv::designs::by_name("fifo_counters").expect("corpus design");
     let design = bundle.prepare()?;
 

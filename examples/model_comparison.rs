@@ -9,7 +9,7 @@
 
 use genfv::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     let corpus = genfv::designs::lemma_hungry_designs();
     println!(
         "Comparing {} model profiles over {} lemma-hungry designs\n",

@@ -10,7 +10,7 @@
 
 use genfv::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // The paper's Listing 1, from the shipped corpus.
     let bundle = genfv::designs::by_name("sync_counters").expect("corpus design");
     println!("=== RTL (paper Listing 1) ===\n{}", bundle.rtl.trim());

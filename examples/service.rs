@@ -1,0 +1,123 @@
+//! Verification as a service: typed requests, streaming events, warm
+//! repeat traffic.
+//!
+//! Spins up a `VerificationService`, streams one job's event sequence,
+//! then submits the same design three more times to show the
+//! warm-session cache and same-design batching at work (watch
+//! `cache_hits`, `batched_jobs`, and `templates_reused` in the final
+//! stats). Also demonstrates typed backpressure: a one-slot queue
+//! rejects `try_submit` with `ServiceError::QueueFull` while `submit`
+//! blocks until space opens.
+//!
+//! Run with: `cargo run --example service`
+
+use genfv::prelude::*;
+
+fn main() -> Result<(), Error> {
+    // A one-worker service keeps the output deterministic.
+    let service = VerificationService::new(
+        ServiceConfig::default().with_workers(1).with_mode(CorpusMode::Flow2),
+    );
+
+    let bundle = genfv::designs::by_name("sync_counters").expect("corpus design");
+    let request = |seed: u64| {
+        JobRequest::new(DesignInput::Source {
+            name: bundle.name.to_string(),
+            rtl: bundle.rtl.to_string(),
+            spec: bundle.spec.to_string(),
+            targets: bundle.targets.clone(),
+        })
+        .with_llm(SyntheticLlm::new(ModelProfile::GptFourTurbo, seed))
+    };
+
+    // One cold job, event by event.
+    println!("=== Streaming one job ===");
+    let handle = service.submit(request(42)).map_err(|r| r.error)?;
+    println!("submitted {}", handle.id());
+    let mut final_report = None;
+    while let Some(event) = handle.next_event() {
+        match event {
+            JobEvent::Queued { job, depth } => println!("{job}: queued (depth {depth})"),
+            JobEvent::Started { job, batched, cache_hit } => {
+                println!("{job}: started (batched: {batched}, cache hit: {cache_hit})")
+            }
+            JobEvent::TargetVerdict { job, target, outcome } => {
+                println!("{job}: target `{target}` -> {outcome:?}")
+            }
+            JobEvent::Done { job, report } => {
+                println!(
+                    "{job}: done in {:?} (queued {:?}), {} lemma(s)",
+                    report.run_time,
+                    report.queue_wait,
+                    report.flow.lemmas.len()
+                );
+                final_report = Some(report);
+            }
+            JobEvent::Failed { job, error } => println!("{job}: FAILED: {error}"),
+        }
+    }
+    assert!(final_report.expect("job must finish").flow.all_proven());
+
+    // Repeat traffic rides the design cache and the batcher.
+    println!("\n=== Repeat traffic (same design, three more jobs) ===");
+    let repeats: Vec<JobHandle> = (0..3)
+        .map(|i| service.submit(request(42 + i)).map_err(|r| r.error))
+        .collect::<Result<_, _>>()?;
+    for handle in repeats {
+        let report = handle.wait()?;
+        println!(
+            "{}: proven={} cache_hit={} batched={} run={:?}",
+            report.job,
+            report.flow.all_proven(),
+            report.cache_hit,
+            report.batched,
+            report.run_time
+        );
+    }
+
+    let stats = service.stats();
+    println!("\n=== Service stats ===");
+    println!("submitted:        {}", stats.submitted);
+    println!("completed:        {}", stats.completed);
+    println!("cache hits:       {}", stats.cache_hits);
+    println!("cache misses:     {}", stats.cache_misses);
+    println!("batched jobs:     {}", stats.batched_jobs);
+    println!("templates reused: {}", stats.templates_reused);
+    println!("clean-depth hits: {}", stats.clean_seed_hits);
+    service.shutdown();
+
+    // Typed backpressure on a deliberately tiny queue with no spare
+    // capacity: the second submission is rejected, not dropped.
+    println!("\n=== Backpressure ===");
+    let tiny = VerificationService::new(
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_mode(CorpusMode::Baseline),
+    );
+    let make = || {
+        JobRequest::new(DesignInput::Source {
+            name: bundle.name.to_string(),
+            rtl: bundle.rtl.to_string(),
+            spec: bundle.spec.to_string(),
+            targets: bundle.targets.clone(),
+        })
+        .with_mode(CorpusMode::Baseline)
+    };
+    let mut accepted = Vec::new();
+    let mut rejections = 0;
+    for _ in 0..32 {
+        match tiny.try_submit(make()) {
+            Ok(handle) => accepted.push(handle),
+            Err(rejected) => {
+                assert!(rejected.error.is_backpressure());
+                rejections += 1;
+            }
+        }
+    }
+    for handle in accepted {
+        handle.wait()?;
+    }
+    println!("32 rapid try_submits: {rejections} typed QueueFull rejection(s)");
+    Ok(())
+}
