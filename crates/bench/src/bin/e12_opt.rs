@@ -1,0 +1,311 @@
+//! **E12 — prepare-time netlist optimization**: CNF shrinkage and flow
+//! speedup from the `genfv_ir::opt` pipeline, differentially checked.
+//!
+//! Every design is prepared twice — `OptLevel::None` (the system exactly
+//! as elaborated) and the default `OptLevel::Full` — and measured two
+//! ways:
+//!
+//! * **CNF section** (whole corpus + datapath): the per-frame transition
+//!   template is built over both netlists and its variable/clause counts
+//!   compared. The datapath designs are the showcase: the factoring
+//!   rewrite collapses their two multiplier cones into one shared node,
+//!   so the template should roughly halve.
+//! * **Flow section**: plain k-induction (`run_baseline`) and the full
+//!   Flow-2 repair loop run end to end on both netlists, median wall
+//!   time over `--samples` runs each.
+//!
+//! The run is differential — it **fails with exit 1** if any optimized
+//! verdict *regresses* (classes must match, except that an optimized
+//! netlist may close a proof the elaborated one stalled on — stuck-at
+//! folding installs proven invariants, which only ever strengthens the
+//! induction), if any real falsification lands on a different cycle, or
+//! if a datapath design shows no CNF reduction (the factoring rewrite
+//! silently stopped firing).
+//!
+//! Results go to stdout and `BENCH_opt.json` (working directory, or
+//! `$GENFV_BENCH_JSON`). Run with
+//! `cargo run --release -p genfv-bench --bin e12_opt`.
+
+use genfv_bench::ms;
+use genfv_core::{
+    run_baseline, run_flow2, FlowConfig, FlowReport, OptConfig, OptLevel, PreparedDesign, Table,
+    TargetOutcome,
+};
+use genfv_designs::DesignBundle;
+use genfv_genai::{ModelProfile, SyntheticLlm};
+use genfv_ir::{ExprRef, Template};
+use std::time::{Duration, Instant};
+
+/// Flow-section designs for the plain-induction comparison: the datapath
+/// pair (where optimization pays) plus corpus members covering proofs,
+/// falsifications, and lemma-hungry stalls.
+const BASELINE_DESIGNS: &[&str] =
+    &["mul_incr", "mul_distrib", "sync_counters_16", "hamming74", "div_checker", "desync_counters"];
+
+/// Flow-2 section designs: the lemma-hungry family (same as e8-e11).
+const FLOW_DESIGNS: &[&str] =
+    &["sync_counters_16", "parity_pipe", "hamming74", "ecc_counter", "fifo_counters"];
+
+const MODEL: ModelProfile = ModelProfile::GptFourTurbo;
+const LLM_SEED: u64 = 42;
+
+fn baseline_prep(bundle: &DesignBundle) -> PreparedDesign {
+    bundle.prepare_with(&OptConfig::default().with_level(OptLevel::None)).expect("baseline prepare")
+}
+
+fn optimized_prep(bundle: &DesignBundle) -> PreparedDesign {
+    bundle.prepare().expect("optimized prepare")
+}
+
+/// Proven-class verdicts deliberately exclude k: stuck-at strengthening
+/// may close the optimized proof at a smaller depth.
+fn verdict_class(outcome: &TargetOutcome) -> String {
+    match outcome {
+        TargetOutcome::Proven { .. } => "proven".to_string(),
+        TargetOutcome::Falsified { at } => format!("falsified@{at}"),
+        TargetOutcome::StillUnproven { .. } => "still_unproven".to_string(),
+        TargetOutcome::Unknown { .. } => "unknown".to_string(),
+    }
+}
+
+/// Equal classes, or improvement in the strengthening direction only.
+fn verdicts_ok(base: &FlowReport, opt: &FlowReport) -> bool {
+    base.targets.len() == opt.targets.len()
+        && base.targets.iter().zip(&opt.targets).all(|(b, o)| {
+            let (b, o) = (verdict_class(&b.outcome), verdict_class(&o.outcome));
+            b == o || (o == "proven" && (b == "still_unproven" || b == "unknown"))
+        })
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Per-frame CNF size of the design's transition template with the
+/// target properties as extra roots — the cost every stamped frame pays.
+fn cnf_size(design: &PreparedDesign) -> (u32, usize) {
+    let roots: Vec<ExprRef> = design.targets.iter().map(|t| t.prop.ok).collect();
+    let template = Template::build_with(&design.ctx, &design.ts, &roots);
+    (template.num_vars(), template.num_clauses())
+}
+
+struct CnfCell {
+    design: String,
+    datapath: bool,
+    base_vars: u32,
+    base_clauses: usize,
+    opt_vars: u32,
+    opt_clauses: usize,
+    nodes_removed: usize,
+    states_dropped: u64,
+    rounds: usize,
+}
+
+fn cnf_cell(bundle: &DesignBundle, datapath: bool) -> CnfCell {
+    let base = baseline_prep(bundle);
+    let opt = optimized_prep(bundle);
+    let (base_vars, base_clauses) = cnf_size(&base);
+    let (opt_vars, opt_clauses) = cnf_size(&opt);
+    CnfCell {
+        design: bundle.name.to_string(),
+        datapath,
+        base_vars,
+        base_clauses,
+        opt_vars,
+        opt_clauses,
+        nodes_removed: opt.opt_stats.nodes_removed(),
+        states_dropped: opt.opt_stats.states_dropped(),
+        rounds: opt.opt_stats.rounds,
+    }
+}
+
+struct FlowCell {
+    section: &'static str,
+    design: String,
+    base: Duration,
+    opt: Duration,
+    agree: bool,
+}
+
+fn flow_cell(section: &'static str, name: &str, samples: usize) -> FlowCell {
+    let bundle = genfv_designs::by_name(name).expect("benchmark design exists");
+    let run = |design: PreparedDesign| -> FlowReport {
+        match section {
+            "baseline" => run_baseline(&design, &FlowConfig::default()),
+            _ => run_flow2(design, &mut SyntheticLlm::new(MODEL, LLM_SEED), &FlowConfig::default()),
+        }
+    };
+    let mut base_times = Vec::new();
+    let mut opt_times = Vec::new();
+    let mut agree = true;
+    for _ in 0..samples {
+        let design = baseline_prep(&bundle);
+        let t0 = Instant::now();
+        let base_report = run(design);
+        base_times.push(t0.elapsed());
+
+        let design = optimized_prep(&bundle);
+        let t0 = Instant::now();
+        let opt_report = run(design);
+        opt_times.push(t0.elapsed());
+
+        agree &= verdicts_ok(&base_report, &opt_report);
+    }
+    FlowCell {
+        section,
+        design: name.to_string(),
+        base: median(&mut base_times),
+        opt: median(&mut opt_times),
+        agree,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick { 2 } else { 5 })
+        .max(1);
+    let only: Option<&String> =
+        args.iter().position(|a| a == "--only").and_then(|p| args.get(p + 1));
+    let keep = |name: &str| only.is_none_or(|o| o == name);
+
+    // ---- CNF section ---------------------------------------------------
+    let mut cnf_cells: Vec<CnfCell> = Vec::new();
+    for bundle in genfv_designs::all_designs() {
+        if keep(bundle.name) {
+            cnf_cells.push(cnf_cell(&bundle, false));
+        }
+    }
+    for bundle in genfv_designs::datapath_designs() {
+        if keep(bundle.name) {
+            cnf_cells.push(cnf_cell(&bundle, true));
+        }
+    }
+
+    let mut cnf_table = Table::new([
+        "design",
+        "vars (none)",
+        "vars (full)",
+        "clauses (none)",
+        "clauses (full)",
+        "reduction",
+        "nodes removed",
+        "states dropped",
+        "rounds",
+    ]);
+    let mut json_cnf = Vec::new();
+    let mut datapath_unshrunk: Vec<String> = Vec::new();
+    for c in &cnf_cells {
+        let reduction = 1.0 - c.opt_clauses as f64 / c.base_clauses.max(1) as f64;
+        if c.datapath && (c.opt_vars >= c.base_vars || c.opt_clauses >= c.base_clauses) {
+            datapath_unshrunk.push(c.design.clone());
+        }
+        cnf_table.row([
+            c.design.clone(),
+            c.base_vars.to_string(),
+            c.opt_vars.to_string(),
+            c.base_clauses.to_string(),
+            c.opt_clauses.to_string(),
+            format!("{:.1}%", reduction * 100.0),
+            c.nodes_removed.to_string(),
+            c.states_dropped.to_string(),
+            c.rounds.to_string(),
+        ]);
+        json_cnf.push(format!(
+            "    {{\"design\": \"{}\", \"datapath\": {}, \"base_vars\": {}, \
+             \"opt_vars\": {}, \"base_clauses\": {}, \"opt_clauses\": {}, \
+             \"clause_reduction\": {reduction:.4}, \"nodes_removed\": {}, \
+             \"states_dropped\": {}, \"rounds\": {}}}",
+            c.design,
+            c.datapath,
+            c.base_vars,
+            c.opt_vars,
+            c.base_clauses,
+            c.opt_clauses,
+            c.nodes_removed,
+            c.states_dropped,
+            c.rounds,
+        ));
+    }
+
+    // ---- Flow section --------------------------------------------------
+    let mut flow_cells: Vec<FlowCell> = Vec::new();
+    for name in BASELINE_DESIGNS {
+        if keep(name) {
+            flow_cells.push(flow_cell("baseline", name, samples));
+        }
+    }
+    for name in FLOW_DESIGNS {
+        if keep(name) {
+            flow_cells.push(flow_cell("flow2", name, samples));
+        }
+    }
+
+    let mut flow_table =
+        Table::new(["section", "design", "none (median)", "full (median)", "speedup", "verdicts"]);
+    let mut json_flow = Vec::new();
+    let mut speedups = Vec::new();
+    let mut divergent = false;
+    for c in &flow_cells {
+        let speedup = c.base.as_secs_f64() / c.opt.as_secs_f64().max(1e-9);
+        speedups.push(speedup);
+        divergent |= !c.agree;
+        flow_table.row([
+            c.section.to_string(),
+            c.design.clone(),
+            ms(c.base),
+            ms(c.opt),
+            format!("{speedup:.2}x"),
+            if c.agree { "no regression".to_string() } else { "DIVERGED".to_string() },
+        ]);
+        json_flow.push(format!(
+            "    {{\"section\": \"{}\", \"design\": \"{}\", \"none_ms\": {:.3}, \
+             \"full_ms\": {:.3}, \"speedup\": {speedup:.3}, \"verdicts_ok\": {}}}",
+            c.section,
+            c.design,
+            c.base.as_secs_f64() * 1e3,
+            c.opt.as_secs_f64() * 1e3,
+            c.agree,
+        ));
+    }
+
+    let geomean =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len().max(1) as f64).exp();
+
+    println!("E12: prepare-time netlist optimization — OptLevel::None vs OptLevel::Full\n");
+    println!("per-frame transition-template CNF:\n");
+    println!("{}", cnf_table.render());
+    println!("\nend-to-end flows ({samples} samples/cell):\n");
+    println!("{}", flow_table.render());
+    println!("\nflow geomean speedup: {geomean:.2}x over {} cells", speedups.len());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e12_opt\",\n  \"samples\": {samples},\n  \
+         \"flow_geomean_speedup\": {geomean:.3},\n  \"cnf\": [\n{}\n  ],\n  \
+         \"flows\": [\n{}\n  ]\n}}\n",
+        json_cnf.join(",\n"),
+        json_flow.join(",\n")
+    );
+    let path = std::env::var("GENFV_BENCH_JSON").unwrap_or_else(|_| "BENCH_opt.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+
+    if divergent {
+        eprintln!("FAIL: an optimized flow verdict regressed against OptLevel::None");
+        std::process::exit(1);
+    }
+    if !datapath_unshrunk.is_empty() {
+        eprintln!(
+            "FAIL: no CNF reduction on datapath design(s) {} — the factoring \
+             rewrite stopped firing",
+            datapath_unshrunk.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

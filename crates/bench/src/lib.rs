@@ -15,6 +15,8 @@
 //! | `e8_incremental_sessions` | E8 | incremental sessions vs rebuild-per-query |
 //! | `e9_portfolio` | E9 | portfolio racing vs single-solver sessions |
 //! | `e10_template_unroll` | E10 | template-stamped vs DAG-walk frame encoding |
+//! | `e11_service` | E11 | warm session-cached vs cold verification service |
+//! | `e12_opt` | E12 | prepare-time netlist optimization vs `OptLevel::None` |
 //!
 //! Criterion timing groups live in `benches/paper_benches.rs`.
 

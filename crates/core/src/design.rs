@@ -1,8 +1,13 @@
 //! Design preparation: from RTL + spec + target assertions to a checkable
 //! package.
+//!
+//! Preparation runs the `genfv_ir::opt` netlist optimization pipeline after
+//! target compilation (so property monitors are optimized alongside the
+//! design), configurable per prepare via [`OptConfig`] with
+//! [`OptLevel::None`](genfv_ir::OptLevel::None) as the escape hatch.
 
 use crate::error::Error;
-use genfv_ir::{Context, TransitionSystem};
+use genfv_ir::{optimize, Context, ExprRef, OptConfig, OptStats, TransitionSystem};
 use genfv_mc::Property;
 use genfv_sva::PropertyCompiler;
 
@@ -32,10 +37,15 @@ pub struct PreparedDesign {
     pub ts: TransitionSystem,
     /// Targets to prove.
     pub targets: Vec<Target>,
+    /// Optimization configuration this design was prepared with.
+    pub opt: OptConfig,
+    /// What the optimization pipeline did during prepare.
+    pub opt_stats: OptStats,
 }
 
 impl PreparedDesign {
-    /// Parses, elaborates, and compiles everything.
+    /// Parses, elaborates, compiles, and optimizes at the default
+    /// [`OptConfig`] (the full pipeline).
     ///
     /// `targets` are `(name, sva_source)` pairs.
     ///
@@ -48,6 +58,22 @@ impl PreparedDesign {
         rtl: impl Into<String>,
         spec: impl Into<String>,
         targets: &[(String, String)],
+    ) -> Result<Self, Error> {
+        Self::with_opt(name, rtl, spec, targets, &OptConfig::default())
+    }
+
+    /// Like [`PreparedDesign::new`] but with an explicit optimization
+    /// configuration (`OptLevel::None` prepares the system exactly as
+    /// elaborated — the differential baseline).
+    ///
+    /// # Errors
+    /// Same as [`PreparedDesign::new`].
+    pub fn with_opt(
+        name: impl Into<String>,
+        rtl: impl Into<String>,
+        spec: impl Into<String>,
+        targets: &[(String, String)],
+        opt: &OptConfig,
     ) -> Result<Self, Error> {
         let name = name.into();
         let rtl = rtl.into();
@@ -81,7 +107,17 @@ impl PreparedDesign {
                 prop: Property::new(tname.clone(), prop.ok),
             });
         }
-        Ok(PreparedDesign { name, rtl, spec, ctx, ts, targets: compiled })
+
+        // Optimize with the compiled proof obligations as extra roots so
+        // the pipeline keeps (and rewrites) the property cones, then
+        // re-anchor each target on its rewritten root.
+        let mut roots: Vec<ExprRef> = compiled.iter().map(|t| t.prop.ok).collect();
+        let opt_stats = optimize(&mut ctx, &mut ts, &mut roots, opt);
+        for (target, root) in compiled.iter_mut().zip(roots) {
+            target.prop.ok = root;
+        }
+
+        Ok(PreparedDesign { name, rtl, spec, ctx, ts, targets: compiled, opt: *opt, opt_stats })
     }
 }
 
@@ -109,6 +145,35 @@ endmodule
         .unwrap();
         assert_eq!(d.targets.len(), 1);
         assert_eq!(d.ts.states().len(), 1);
+    }
+
+    #[test]
+    fn opt_level_none_skips_pipeline() {
+        use genfv_ir::OptLevel;
+        let base = PreparedDesign::with_opt(
+            "counter",
+            RTL,
+            "spec",
+            &[("tauto".to_string(), "c == c".to_string())],
+            &OptConfig::default().with_level(OptLevel::None),
+        )
+        .unwrap();
+        assert_eq!(base.opt_stats.rounds, 0);
+        assert_eq!(base.opt_stats.nodes_before, base.opt_stats.nodes_after);
+        let opt = PreparedDesign::new(
+            "counter",
+            RTL,
+            "spec",
+            &[("tauto".to_string(), "c == c".to_string())],
+        )
+        .unwrap();
+        assert!(opt.opt_stats.rounds >= 1);
+        assert!(
+            opt.ctx.num_nodes() <= base.ctx.num_nodes(),
+            "sweep never grows the arena: {} vs {}",
+            opt.ctx.num_nodes(),
+            base.ctx.num_nodes()
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::design::{PreparedDesign, Target};
 use crate::houdini::validate_batch_with_stats;
 use crate::validate::{install_lemma, Candidate, Lemma, ValidateConfig, ValidationOutcome};
 use genfv_genai::{LanguageModel, Prompt};
+use genfv_ir::{OptConfig, OptStats};
 use genfv_mc::{
     prove_rebuild, render_waveform, CheckConfig, EngineMode, PortfolioConfig, ProofSession,
     ProveResult, SessionStats, Trace, UnrollMode,
@@ -114,6 +115,9 @@ pub struct FlowReport {
     pub lemmas: Vec<Lemma>,
     /// Aggregate metrics.
     pub metrics: FlowMetrics,
+    /// What the netlist optimization pipeline did to this design during
+    /// prepare (level, node counts, per-pass applications).
+    pub opt: OptStats,
     /// Human-readable event log.
     pub events: Vec<String>,
 }
@@ -136,6 +140,10 @@ pub struct FlowConfig {
     pub max_iterations: usize,
     /// Run Houdini over individually-non-inductive candidates.
     pub use_houdini: bool,
+    /// Netlist optimization applied when this configuration prepares a
+    /// design from source (the service's `DesignInput::Source` path;
+    /// already-prepared designs keep whatever they were prepared with).
+    pub opt: OptConfig,
 }
 
 impl Default for FlowConfig {
@@ -145,6 +153,7 @@ impl Default for FlowConfig {
             validate: ValidateConfig::default(),
             max_iterations: 4,
             use_houdini: true,
+            opt: OptConfig::default(),
         }
     }
 }
@@ -208,6 +217,14 @@ impl FlowConfig {
     /// candidates switched on or off.
     pub fn with_houdini(mut self, on: bool) -> Self {
         self.use_houdini = on;
+        self
+    }
+
+    /// This configuration preparing source designs with the given netlist
+    /// optimization settings (`OptLevel::None` is the escape hatch /
+    /// differential baseline).
+    pub fn with_opt(mut self, opt: OptConfig) -> Self {
+        self.opt = opt;
         self
     }
 
@@ -534,6 +551,7 @@ pub fn run_flow1(
         targets: target_reports,
         lemmas,
         metrics,
+        opt: design.opt_stats.clone(),
         events,
     }
 }
@@ -573,6 +591,7 @@ pub fn run_flow2(
         targets: target_reports,
         lemmas,
         metrics,
+        opt: design.opt_stats.clone(),
         events,
     }
 }
@@ -618,6 +637,7 @@ pub fn run_baseline(design: &PreparedDesign, config: &FlowConfig) -> FlowReport 
         targets: target_reports,
         lemmas: Vec::new(),
         metrics,
+        opt: design.opt_stats.clone(),
         events,
     }
 }
@@ -676,6 +696,7 @@ pub fn run_combined(
         targets: target_reports,
         lemmas,
         metrics,
+        opt: design.opt_stats.clone(),
         events,
     }
 }

@@ -91,11 +91,15 @@ pub mod shard;
 pub mod validate;
 
 pub use design::{PreparedDesign, Target};
+// Re-exported so downstream crates (service, bench) can configure and
+// report the prepare-time optimization pipeline without depending on
+// `genfv-ir` directly.
 pub use error::{Error, ServiceError};
 pub use flows::{
     run_baseline, run_combined, run_flow1, run_flow2, FlowConfig, FlowMetrics, FlowReport,
     TargetOutcome, TargetReport,
 };
+pub use genfv_ir::{OptConfig, OptLevel, OptStats};
 pub use houdini::{houdini, validate_batch, HoudiniResult};
 pub use parallel::validate_parallel;
 pub use report::{render_events, render_report, summarize_targets, Table};

@@ -11,10 +11,13 @@ use crate::{DesignBundle, Expectation};
 
 /// Registered multiplier increment identity: every cycle it latches
 /// `(a+1)*b` and `a*b + b`; the two registers are always equal (modulo
-/// 2⁶). The two sides lower through structurally different circuits —
-/// the expression DAG cannot canonicalise them into one node — so the
-/// proof genuinely compares two multipliers. The property is a pure
-/// register comparison, so both multipliers live in the next-state cone.
+/// 2⁶). As elaborated the two sides lower through structurally different
+/// circuits — hash-consing alone cannot unify them — so at
+/// `OptLevel::None` the proof genuinely compares two multipliers. The
+/// `genfv_ir::opt` factoring rewrite (`a*b + b → (a+1)*b`) collapses the
+/// two next-state cones into one shared multiplier, which is exactly the
+/// CNF reduction the `e12_opt` benchmark measures. The property is a pure
+/// register comparison, so both registers stay in the cone of influence.
 pub fn mul_incr() -> DesignBundle {
     DesignBundle {
         name: "mul_incr",
@@ -78,6 +81,30 @@ mod tests {
             let design = bundle.prepare().expect("datapath designs prepare");
             assert_eq!(design.ts.states().len(), 2, "{}: two product registers", bundle.name);
             assert!(!design.targets.is_empty());
+        }
+    }
+
+    #[test]
+    fn factoring_unifies_the_product_cones() {
+        use genfv_core::{OptConfig, OptLevel};
+        for bundle in [mul_incr(), mul_distrib()] {
+            let base = bundle
+                .prepare_with(&OptConfig::default().with_level(OptLevel::None))
+                .expect("baseline prepare");
+            let states = base.ts.states();
+            assert_ne!(
+                states[0].next, states[1].next,
+                "{}: unoptimized sides stay structurally distinct",
+                bundle.name
+            );
+            let opt = bundle.prepare().expect("optimized prepare");
+            let states = opt.ts.states();
+            assert_eq!(states.len(), 2, "{}: registers are never merged", bundle.name);
+            assert_eq!(
+                states[0].next, states[1].next,
+                "{}: factoring hash-conses both sides into one multiplier",
+                bundle.name
+            );
         }
     }
 }

@@ -75,6 +75,19 @@ impl DesignBundle {
     pub fn prepare(&self) -> Result<genfv_core::PreparedDesign, genfv_core::Error> {
         genfv_core::PreparedDesign::new(self.name, self.rtl, self.spec, &self.targets)
     }
+
+    /// Like [`DesignBundle::prepare`] but with an explicit optimization
+    /// configuration — `OptLevel::None` is the differential baseline the
+    /// opt suites compare against.
+    ///
+    /// # Errors
+    /// Same as [`DesignBundle::prepare`].
+    pub fn prepare_with(
+        &self,
+        opt: &genfv_core::OptConfig,
+    ) -> Result<genfv_core::PreparedDesign, genfv_core::Error> {
+        genfv_core::PreparedDesign::with_opt(self.name, self.rtl, self.spec, &self.targets, opt)
+    }
 }
 
 /// The complete flow corpus, in a stable order.

@@ -339,6 +339,131 @@ impl Context {
             BinaryOp::Ule if a == b => return self.bool_const(true),
             _ => {}
         }
+        // One-constant identities and annihilators. The both-constant case
+        // folded above, so at most one side classifies here. Each operand is
+        // summarized as (is_zero, is_ones, is_one); `is_one` uses `to_u64`
+        // and is conservatively false for constants wider than 64 bits.
+        let classify = |v: &BitVecValue| (v.is_zero(), v.is_ones(), v.to_u64() == Some(1));
+        let ka = self.const_value(a).map(classify);
+        let kb = self.const_value(b).map(classify);
+        let w = self.width_of(a);
+        match op {
+            BinaryOp::And => {
+                if matches!(ka, Some((true, ..))) {
+                    return a; // 0 & x = 0
+                }
+                if matches!(kb, Some((true, ..))) {
+                    return b;
+                }
+                if matches!(ka, Some((_, true, _))) {
+                    return b; // ones & x = x
+                }
+                if matches!(kb, Some((_, true, _))) {
+                    return a;
+                }
+            }
+            BinaryOp::Or => {
+                if matches!(ka, Some((true, ..))) {
+                    return b; // 0 | x = x
+                }
+                if matches!(kb, Some((true, ..))) {
+                    return a;
+                }
+                if matches!(ka, Some((_, true, _))) {
+                    return a; // ones | x = ones
+                }
+                if matches!(kb, Some((_, true, _))) {
+                    return b;
+                }
+            }
+            BinaryOp::Xor => {
+                if matches!(ka, Some((true, ..))) {
+                    return b; // 0 ^ x = x
+                }
+                if matches!(kb, Some((true, ..))) {
+                    return a;
+                }
+                if matches!(ka, Some((_, true, _))) {
+                    return self.not(b); // ones ^ x = ~x
+                }
+                if matches!(kb, Some((_, true, _))) {
+                    return self.not(a);
+                }
+            }
+            BinaryOp::Add => {
+                if matches!(ka, Some((true, ..))) {
+                    return b; // 0 + x = x
+                }
+                if matches!(kb, Some((true, ..))) {
+                    return a;
+                }
+            }
+            BinaryOp::Sub => {
+                if matches!(kb, Some((true, ..))) {
+                    return a; // x - 0 = x
+                }
+            }
+            BinaryOp::Mul => {
+                if matches!(ka, Some((true, ..))) {
+                    return a; // 0 * x = 0
+                }
+                if matches!(kb, Some((true, ..))) {
+                    return b;
+                }
+                if matches!(ka, Some((.., true))) {
+                    return b; // 1 * x = x
+                }
+                if matches!(kb, Some((.., true))) {
+                    return a;
+                }
+            }
+            BinaryOp::Udiv => {
+                if matches!(kb, Some((.., true))) {
+                    return a; // x / 1 = x
+                }
+            }
+            BinaryOp::Urem => {
+                if matches!(kb, Some((.., true))) {
+                    return self.constant(0, w); // x % 1 = 0
+                }
+            }
+            BinaryOp::Shl | BinaryOp::Lshr => {
+                if matches!(kb, Some((true, ..))) {
+                    return a; // x shifted by 0 = x
+                }
+                if matches!(ka, Some((true, ..))) {
+                    return a; // 0 shifted = 0
+                }
+            }
+            BinaryOp::Eq if w == 1 => {
+                if matches!(ka, Some((_, true, _))) {
+                    return b; // (x == 1'b1) = x
+                }
+                if matches!(kb, Some((_, true, _))) {
+                    return a;
+                }
+                if matches!(ka, Some((true, ..))) {
+                    return self.not(b); // (x == 1'b0) = ~x
+                }
+                if matches!(kb, Some((true, ..))) {
+                    return self.not(a);
+                }
+            }
+            BinaryOp::Ult => {
+                if matches!(kb, Some((true, ..))) {
+                    return self.bool_const(false); // x < 0 is never true
+                }
+            }
+            BinaryOp::Ule => {
+                if matches!(ka, Some((true, ..))) {
+                    return self.bool_const(true); // 0 <= x always
+                }
+                if matches!(kb, Some((_, true, _))) {
+                    return self.bool_const(true); // x <= ones always
+                }
+            }
+            _ => {}
+        }
         // Canonical operand order for commutative ops improves sharing.
         let (a, b) = match op {
             BinaryOp::And
@@ -814,6 +939,76 @@ mod tests {
             ctx.not(n)
         };
         assert_eq!(nn, a);
+    }
+
+    #[test]
+    fn commutative_canonicalisation_all_ops() {
+        // Regression: hash-consing must treat swapped operands of every
+        // commutative operator as the same node, including when one side is
+        // itself a compound expression.
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 8);
+        let b = ctx.symbol("b", 8);
+        let c = ctx.symbol("c", 8);
+        let ab = ctx.add(a, b);
+        for (fwd, rev) in [
+            (ctx.and(ab, c), ctx.and(c, ab)),
+            (ctx.or(ab, c), ctx.or(c, ab)),
+            (ctx.xor(ab, c), ctx.xor(c, ab)),
+            (ctx.add(ab, c), ctx.add(c, ab)),
+            (ctx.mul(ab, c), ctx.mul(c, ab)),
+            (ctx.eq(ab, c), ctx.eq(c, ab)),
+        ] {
+            assert_eq!(fwd, rev, "swapped operands must share one node");
+        }
+        let before = ctx.num_nodes();
+        let _ = ctx.mul(c, ab);
+        assert_eq!(ctx.num_nodes(), before, "no new node for a swapped re-intern");
+    }
+
+    #[test]
+    fn identity_and_annihilator_folds() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 8);
+        let zero = ctx.constant(0, 8);
+        let one = ctx.constant(1, 8);
+        let ones = ctx.constant(0xFF, 8);
+        assert_eq!(ctx.and(a, zero), zero);
+        assert_eq!(ctx.and(ones, a), a);
+        assert_eq!(ctx.or(a, zero), a);
+        assert_eq!(ctx.or(a, ones), ones);
+        assert_eq!(ctx.xor(zero, a), a);
+        let na = ctx.not(a);
+        assert_eq!(ctx.xor(a, ones), na);
+        assert_eq!(ctx.add(a, zero), a);
+        assert_eq!(ctx.sub(a, zero), a);
+        assert_eq!(ctx.mul(a, zero), zero);
+        assert_eq!(ctx.mul(one, a), a);
+        assert_eq!(ctx.udiv(a, one), a);
+        assert_eq!(ctx.urem(a, one), zero);
+        assert_eq!(ctx.shl(a, zero), a);
+        assert_eq!(ctx.lshr(zero, a), zero);
+        let f = ctx.ult(a, zero);
+        assert_eq!(ctx.const_value(f).unwrap().to_u64(), Some(0));
+        let t = ctx.ule(zero, a);
+        assert_eq!(ctx.const_value(t).unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn boolean_eq_folds() {
+        let mut ctx = Context::new();
+        let p = ctx.symbol("p", 1);
+        let t = ctx.bool_const(true);
+        let f = ctx.bool_const(false);
+        assert_eq!(ctx.eq(p, t), p);
+        let np = ctx.not(p);
+        assert_eq!(ctx.eq(f, p), np);
+        // Wider equality against zero stays symbolic.
+        let a = ctx.symbol("a", 8);
+        let z8 = ctx.constant(0, 8);
+        let e = ctx.eq(a, z8);
+        assert!(ctx.const_value(e).is_none());
+        assert!(matches!(ctx.expr(e), Expr::Binary(BinaryOp::Eq, ..)));
     }
 
     #[test]

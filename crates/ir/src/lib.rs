@@ -45,6 +45,7 @@ pub mod bitblast;
 pub mod encode;
 pub mod eval;
 pub mod expr;
+pub mod opt;
 pub mod template;
 pub mod ts;
 pub mod value;
@@ -53,6 +54,7 @@ pub use bitblast::{BitBlaster, LitEnv};
 pub use encode::GateEncoder;
 pub use eval::{evaluate, Env, Simulator};
 pub use expr::{BinaryOp, Context, Expr, ExprRef, UnaryOp};
+pub use opt::{optimize, OptConfig, OptLevel, OptPass, OptStats, PassCount, PassManager};
 pub use template::{FrameStamp, TRef, Template, TemplateStats};
 pub use ts::{State, TransitionSystem};
 pub use value::BitVecValue;

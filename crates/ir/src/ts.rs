@@ -4,8 +4,14 @@
 //! input symbols, state registers with initial-value and next-state
 //! functions, environment constraints, and named observable signals. The
 //! model checker in `genfv-mc` operates directly on this representation.
+//!
+//! Lookups by name ([`find_signal`](TransitionSystem::find_signal)) and by
+//! symbol ([`find_state`](TransitionSystem::find_state)) are backed by index
+//! maps, so they stay O(1) on the prepare, trace-reconstruction, and
+//! optimization-pass paths that call them per node rather than per design.
 
 use crate::expr::{Context, ExprRef};
+use std::collections::HashMap;
 
 /// A state register.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,6 +45,12 @@ pub struct TransitionSystem {
     states: Vec<State>,
     constraints: Vec<ExprRef>,
     signals: Vec<(String, ExprRef)>,
+    /// State symbol → index into `states`.
+    state_index: HashMap<ExprRef, usize>,
+    /// Signal name → index of its *first* declaration in `signals`
+    /// (preserves the historical first-match semantics of `find_signal`
+    /// even if a name is published twice).
+    signal_index: HashMap<String, usize>,
 }
 
 impl TransitionSystem {
@@ -60,7 +72,8 @@ impl TransitionSystem {
 
     /// Registers a state with optional init and a next-state function.
     pub fn add_state(&mut self, symbol: ExprRef, init: Option<ExprRef>, next: ExprRef) {
-        debug_assert!(!self.states.iter().any(|s| s.symbol == symbol), "duplicate state register");
+        debug_assert!(!self.state_index.contains_key(&symbol), "duplicate state register");
+        self.state_index.insert(symbol, self.states.len());
         self.states.push(State { symbol, init, next });
     }
 
@@ -71,7 +84,9 @@ impl TransitionSystem {
 
     /// Publishes a named observable signal (port or internal net).
     pub fn add_signal(&mut self, name: impl Into<String>, expr: ExprRef) {
-        self.signals.push((name.into(), expr));
+        let name = name.into();
+        self.signal_index.entry(name.clone()).or_insert(self.signals.len());
+        self.signals.push((name, expr));
     }
 
     /// The free inputs.
@@ -94,14 +109,14 @@ impl TransitionSystem {
         &self.signals
     }
 
-    /// Looks up a named signal.
+    /// Looks up a named signal. O(1).
     pub fn find_signal(&self, name: &str) -> Option<ExprRef> {
-        self.signals.iter().find(|(n, _)| n == name).map(|(_, e)| *e)
+        self.signal_index.get(name).map(|&i| self.signals[i].1)
     }
 
-    /// Looks up the state record for a symbol.
+    /// Looks up the state record for a symbol. O(1).
     pub fn find_state(&self, symbol: ExprRef) -> Option<&State> {
-        self.states.iter().find(|s| s.symbol == symbol)
+        self.state_index.get(&symbol).map(|&i| &self.states[i])
     }
 
     /// Replaces the init expression of an existing state.
@@ -109,12 +124,36 @@ impl TransitionSystem {
     /// # Panics
     /// Panics if `symbol` is not a registered state.
     pub fn set_state_init(&mut self, symbol: ExprRef, init: Option<ExprRef>) {
-        let s = self
-            .states
-            .iter_mut()
-            .find(|s| s.symbol == symbol)
-            .expect("set_state_init: unknown state");
-        s.init = init;
+        let i = *self.state_index.get(&symbol).expect("set_state_init: unknown state");
+        self.states[i].init = init;
+    }
+
+    /// Applies `f` to every non-symbol expression position: state inits and
+    /// next functions, constraints, and signal expressions. State symbols
+    /// and inputs are left untouched (they are identities, not functions of
+    /// anything), so the index maps stay valid. This is the mutation hook
+    /// used by the optimization passes in [`crate::opt`].
+    pub fn map_exprs(&mut self, mut f: impl FnMut(ExprRef) -> ExprRef) {
+        for s in &mut self.states {
+            s.init = s.init.map(&mut f);
+            s.next = f(s.next);
+        }
+        for c in &mut self.constraints {
+            *c = f(*c);
+        }
+        for (_, e) in &mut self.signals {
+            *e = f(*e);
+        }
+    }
+
+    /// Drops every state whose symbol fails `keep`, returning how many were
+    /// removed. Expressions referencing a dropped symbol are the caller's
+    /// responsibility (substitute first, as the sweep pass does).
+    pub fn retain_states(&mut self, keep: impl Fn(ExprRef) -> bool) -> usize {
+        let before = self.states.len();
+        self.states.retain(|s| keep(s.symbol));
+        self.state_index = self.states.iter().enumerate().map(|(i, s)| (s.symbol, i)).collect();
+        before - self.states.len()
     }
 
     /// All symbols of the system (inputs then states), e.g. for binding.
@@ -187,6 +226,48 @@ mod tests {
         let sym = ts.states()[0].symbol;
         ts.set_state_init(sym, None);
         assert_eq!(ts.states()[0].init, None);
+    }
+
+    #[test]
+    fn duplicate_signal_name_keeps_first_match() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 4);
+        let b = ctx.symbol("b", 4);
+        let mut ts = TransitionSystem::new("dup");
+        ts.add_signal("s", a);
+        ts.add_signal("s", b);
+        assert_eq!(ts.find_signal("s"), Some(a), "first declaration wins");
+    }
+
+    #[test]
+    fn map_exprs_rewrites_all_positions() {
+        let mut ctx = Context::new();
+        let mut ts = counter_ts(&mut ctx);
+        let t = ctx.bool_const(true);
+        ts.add_constraint(t);
+        let seven = ctx.constant(7, 8);
+        ts.map_exprs(|_| seven);
+        assert_eq!(ts.states()[0].init, Some(seven));
+        assert_eq!(ts.states()[0].next, seven);
+        assert_eq!(ts.constraints(), &[seven]);
+        assert_eq!(ts.find_signal("count"), Some(seven));
+        // The state symbol itself is never rewritten.
+        assert!(ts.find_state(ts.states()[0].symbol).is_some());
+    }
+
+    #[test]
+    fn retain_states_updates_index() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 4);
+        let b = ctx.symbol("b", 4);
+        let mut ts = TransitionSystem::new("two");
+        ts.add_state(a, None, a);
+        ts.add_state(b, None, b);
+        assert_eq!(ts.retain_states(|s| s != a), 1);
+        assert_eq!(ts.states().len(), 1);
+        assert!(ts.find_state(a).is_none());
+        assert!(ts.find_state(b).is_some());
+        assert_eq!(ts.states()[ts.states().len() - 1].symbol, b);
     }
 
     #[test]

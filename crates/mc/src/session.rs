@@ -98,8 +98,14 @@ use std::time::Instant;
 /// can never answer differently on queries both complete.
 #[derive(Debug)]
 pub struct SessionSeed {
-    /// Layout fingerprint of the design this seed belongs to.
+    /// Layout fingerprint of the design this seed belongs to, XORed with
+    /// `salt` at construction.
     fingerprint: u64,
+    /// Caller-supplied discriminator mixed into the fingerprint (the
+    /// service passes the design's `OptLevel` salt so warm capital built
+    /// from an optimized system is never adopted by a differently-optimized
+    /// copy of the same source, even if their layouts collide).
+    salt: u64,
     /// The shared step-direction template, built by the first seeded
     /// session that needs it.
     template: Mutex<Option<Arc<Template>>>,
@@ -113,15 +119,31 @@ pub struct SessionSeed {
 }
 
 impl SessionSeed {
-    /// Creates an empty seed for the given design.
+    /// Creates an empty seed for the given design (salt 0).
     pub fn for_design(ctx: &Context, ts: &TransitionSystem) -> Arc<SessionSeed> {
+        Self::for_design_salted(ctx, ts, 0)
+    }
+
+    /// Creates an empty seed whose fingerprint additionally carries a
+    /// caller-chosen `salt` (e.g. [`genfv_ir::OptLevel::salt`]). Sessions
+    /// over the same `(ctx, ts)` layout still adopt the seed — the salt is
+    /// accounted for in [`SessionSeed::matches`] — but two seeds with
+    /// different salts never report the same fingerprint.
+    pub fn for_design_salted(ctx: &Context, ts: &TransitionSystem, salt: u64) -> Arc<SessionSeed> {
         Arc::new(SessionSeed {
-            fingerprint: Self::fingerprint(ctx, ts),
+            fingerprint: Self::fingerprint(ctx, ts) ^ salt,
+            salt,
             template: Mutex::new(None),
             clean: Mutex::new(HashMap::new()),
             template_reuses: AtomicU64::new(0),
             template_builds: AtomicU64::new(0),
         })
+    }
+
+    /// The salt this seed was created with (0 unless the creator passed
+    /// one via [`SessionSeed::for_design_salted`]).
+    pub fn salt(&self) -> u64 {
+        self.salt
     }
 
     /// A layout fingerprint: every hash-consed node's content plus the
@@ -158,9 +180,10 @@ impl SessionSeed {
         h
     }
 
-    /// Whether this seed was built for a design with this layout.
+    /// Whether this seed was built for a design with this layout (the
+    /// seed's own salt is accounted for).
     pub fn matches(&self, ctx: &Context, ts: &TransitionSystem) -> bool {
-        self.fingerprint == Self::fingerprint(ctx, ts)
+        self.fingerprint == Self::fingerprint(ctx, ts) ^ self.salt
     }
 
     /// The shared template, building it on first use. Callers must have
@@ -883,6 +906,34 @@ mod tests {
         ts.add_state(c, Some(zero), next);
         ts.add_signal("count", c);
         ts
+    }
+
+    #[test]
+    fn salted_seeds_stay_adoptable_but_distinct() {
+        let mut ctx = Context::new();
+        let ts = counter(&mut ctx);
+        let c = ctx.find_symbol("count").unwrap();
+        let five = ctx.constant(5, 4);
+        let lt5 = ctx.ult(c, five);
+        let plain = SessionSeed::for_design(&ctx, &ts);
+        let salted = SessionSeed::for_design_salted(&ctx, &ts, 0xdead_beef);
+        assert_eq!(plain.salt(), 0);
+        assert_eq!(salted.salt(), 0xdead_beef);
+        // Both match the design they were built for...
+        assert!(plain.matches(&ctx, &ts));
+        assert!(salted.matches(&ctx, &ts));
+        // ...and a session adopts a salted seed exactly like a plain one.
+        let config = CheckConfig { seed: Some(Arc::clone(&salted)), ..Default::default() };
+        {
+            let mut s = ProofSession::new(&ctx, &ts, config.clone());
+            match s.bmc_check(&Property::new("lt5", lt5), 8) {
+                BmcResult::Falsified { at, .. } => assert_eq!(at, 5),
+                other => panic!("expected falsification: {other:?}"),
+            }
+        }
+        assert!(salted.template_ready(), "salted seed accumulates warm capital");
+        let warm = ProofSession::new(&ctx, &ts, config);
+        assert_eq!(warm.stats().templates_reused, 1);
     }
 
     #[test]

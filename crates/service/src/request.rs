@@ -8,7 +8,7 @@
 //! [`JobEvent::Done`] (or [`JobEvent::Failed`] at any point after
 //! `Queued`).
 
-use genfv_core::{CorpusMode, Error, FlowReport, PreparedDesign, TargetOutcome};
+use genfv_core::{CorpusMode, Error, FlowReport, OptStats, PreparedDesign, TargetOutcome};
 use genfv_genai::LanguageModel;
 use std::fmt;
 use std::time::Duration;
@@ -209,6 +209,16 @@ pub struct JobReport {
     pub queue_wait: Duration,
     /// Time spent running the flow.
     pub run_time: Duration,
+}
+
+impl JobReport {
+    /// What the prepare-time netlist optimization pipeline did to this
+    /// job's design — node counts before/after, per-pass rewrite counts,
+    /// states dropped by stuck-at folding and cone-of-influence
+    /// reduction. Shorthand for `self.flow.opt`.
+    pub fn opt(&self) -> &OptStats {
+        &self.flow.opt
+    }
 }
 
 #[cfg(test)]

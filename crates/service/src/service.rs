@@ -4,7 +4,7 @@
 use crate::cache::{CacheEntry, DesignCache};
 use crate::request::{DesignInput, JobEvent, JobId, JobReport, JobRequest};
 use genfv_core::{
-    run_baseline, run_combined, run_flow1, run_flow2, CorpusMode, Error, FlowConfig,
+    run_baseline, run_combined, run_flow1, run_flow2, CorpusMode, Error, FlowConfig, OptConfig,
     PreparedDesign, ServiceError,
 };
 use genfv_mc::{CheckConfig, EngineMode, PortfolioConfig, SessionSeed, UnrollMode};
@@ -123,6 +123,13 @@ impl ServiceConfig {
         self.flow = self.flow.with_unroll_mode(mode);
         self
     }
+
+    /// This configuration preparing [`DesignInput::Source`] jobs with
+    /// `opt` (also folded into the warm-capital cache key).
+    pub fn with_opt(mut self, opt: OptConfig) -> Self {
+        self.flow = self.flow.with_opt(opt);
+        self
+    }
 }
 
 /// Point-in-time service counters (see
@@ -156,6 +163,12 @@ pub struct ServiceStats {
     /// Sessions that adopted an already-built transition template, summed
     /// over completed jobs.
     pub templates_reused: u64,
+    /// Expression nodes removed by the prepare-time optimization
+    /// pipeline, summed over cold (cache-miss) prepares.
+    pub opt_nodes_removed: u64,
+    /// State registers dropped (stuck-at folding plus cone-of-influence
+    /// reduction), summed over cold prepares.
+    pub opt_states_dropped: u64,
 }
 
 #[derive(Default)]
@@ -170,6 +183,8 @@ struct AtomicStats {
     batched_jobs: AtomicU64,
     clean_seed_hits: AtomicU64,
     templates_reused: AtomicU64,
+    opt_nodes_removed: AtomicU64,
+    opt_states_dropped: AtomicU64,
 }
 
 /// A queued unit of work.
@@ -372,7 +387,7 @@ impl VerificationService {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             id,
-            hash: request.design.design_hash(),
+            hash: cache_key(&request.design, &self.shared.config.flow.opt),
             input: request.design,
             mode,
             llm: request.llm,
@@ -409,6 +424,8 @@ impl VerificationService {
             batched_jobs: s.batched_jobs.load(Ordering::Relaxed),
             clean_seed_hits: s.clean_seed_hits.load(Ordering::Relaxed),
             templates_reused: s.templates_reused.load(Ordering::Relaxed),
+            opt_nodes_removed: s.opt_nodes_removed.load(Ordering::Relaxed),
+            opt_states_dropped: s.opt_states_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -487,7 +504,7 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     let entry = match cached {
         Some(entry) => entry,
         None => {
-            let design = match prepare(&batch[0].input) {
+            let design = match prepare(&batch[0].input, &shared.config.flow.opt) {
                 Ok(d) => Arc::new(d),
                 Err(error) => {
                     for job in &batch {
@@ -497,7 +514,20 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
                     return;
                 }
             };
-            let seed = SessionSeed::for_design(&design.ctx, &design.ts);
+            shared
+                .stats
+                .opt_nodes_removed
+                .fetch_add(design.opt_stats.nodes_removed() as u64, Ordering::Relaxed);
+            shared
+                .stats
+                .opt_states_dropped
+                .fetch_add(design.opt_stats.states_dropped(), Ordering::Relaxed);
+            // Salt the seed fingerprint with the opt level so warm capital
+            // built over an optimized netlist can never be adopted by a
+            // session over the unoptimized one (or vice versa), even
+            // though both came from identical sources.
+            let seed =
+                SessionSeed::for_design_salted(&design.ctx, &design.ts, design.opt.level.salt());
             let entry = CacheEntry { design, seed };
             shared.cache.lock().unwrap().insert(hash, entry.clone());
             entry
@@ -519,11 +549,25 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     }
 }
 
-fn prepare(input: &DesignInput) -> Result<PreparedDesign, Error> {
+/// The warm-capital cache key: the design's content hash salted with the
+/// optimization level it runs at. [`DesignInput::Prepared`] inputs carry
+/// their own level; [`DesignInput::Source`] inputs are prepared at the
+/// service-wide level, so differently-configured services (or a
+/// `Prepared` submission at a non-default level) key distinct entries and
+/// the LRU never mixes optimized and unoptimized sessions.
+fn cache_key(input: &DesignInput, service_opt: &OptConfig) -> u64 {
+    let salt = match input {
+        DesignInput::Prepared(d) => d.opt.level.salt(),
+        DesignInput::Source { .. } => service_opt.level.salt(),
+    };
+    input.design_hash() ^ salt
+}
+
+fn prepare(input: &DesignInput, service_opt: &OptConfig) -> Result<PreparedDesign, Error> {
     match input {
         DesignInput::Prepared(d) => Ok((**d).clone()),
         DesignInput::Source { name, rtl, spec, targets } => {
-            PreparedDesign::new(name.clone(), rtl.clone(), spec.clone(), targets)
+            PreparedDesign::with_opt(name.clone(), rtl.clone(), spec.clone(), targets, service_opt)
         }
     }
 }
@@ -722,6 +766,50 @@ endmodule
         }
         let rejected = svc.try_submit(baseline(source("b", "c == c"))).unwrap_err();
         assert!(matches!(rejected.error, Error::Service(ServiceError::Closed)));
+    }
+
+    #[test]
+    fn cache_key_separates_opt_levels() {
+        use genfv_core::{OptLevel, PreparedDesign};
+        let targets = vec![("t".to_string(), "c == c".to_string())];
+        let src = source("same", "c == c");
+        let full = DesignInput::Prepared(Box::new(
+            PreparedDesign::new("same", RTL, "a free-running counter", &targets).unwrap(),
+        ));
+        let none = DesignInput::Prepared(Box::new(
+            PreparedDesign::with_opt(
+                "same",
+                RTL,
+                "a free-running counter",
+                &targets,
+                &OptConfig::default().with_level(OptLevel::None),
+            )
+            .unwrap(),
+        ));
+        let svc_opt = OptConfig::default();
+        // Same content prepared at the same (default) level shares a key
+        // across the Source/Prepared variants...
+        assert_eq!(cache_key(&src, &svc_opt), cache_key(&full, &svc_opt));
+        // ...but an unoptimized prepare of identical sources must key a
+        // distinct entry: its sessions are not interchangeable.
+        assert_ne!(cache_key(&full, &svc_opt), cache_key(&none, &svc_opt));
+        // A service configured to prepare without optimization keys its
+        // Source jobs alongside unoptimized Prepared submissions.
+        let svc_none = OptConfig::default().with_level(OptLevel::None);
+        assert_eq!(cache_key(&src, &svc_none), cache_key(&none, &svc_none));
+    }
+
+    #[test]
+    fn reports_surface_opt_stats() {
+        let svc = VerificationService::build(ServiceConfig::default(), false);
+        let handle = svc.submit(baseline(source("a", "c == c"))).unwrap();
+        {
+            svc.shared.queue.lock().unwrap().closed = true;
+        }
+        svc.run_inline();
+        let report = handle.wait().unwrap();
+        assert!(report.opt().rounds >= 1, "default service prepares optimized");
+        assert_eq!(report.opt().level, genfv_core::OptLevel::Full);
     }
 
     #[test]

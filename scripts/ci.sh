@@ -6,7 +6,9 @@
 # divergence): e8 races incremental vs rebuild sessions, e9 races
 # single-solver vs portfolio sessions, e10 races template-stamped vs
 # DAG-walk frame encodings, e11 races a warm (session-cached) vs cold
-# verification service on repeat traffic. Quick-mode JSON goes to target/ so the
+# verification service on repeat traffic, e12 races OptLevel::Full vs
+# OptLevel::None prepares (exits nonzero on any verdict regression or if
+# the datapath designs stop shrinking). Quick-mode JSON goes to target/ so the
 # committed full-run BENCH_*.json files (5-sample medians) are never
 # clobbered by 2-sample gate numbers.
 set -euo pipefail
@@ -24,3 +26,5 @@ GENFV_BENCH_JSON=target/ci-BENCH_unroll.json \
     cargo run --release -p genfv-bench --bin e10_template_unroll -- --quick
 GENFV_BENCH_JSON=target/ci-BENCH_service.json \
     cargo run --release -p genfv-bench --bin e11_service -- --quick
+GENFV_BENCH_JSON=target/ci-BENCH_opt.json \
+    cargo run --release -p genfv-bench --bin e12_opt -- --quick
