@@ -1,0 +1,177 @@
+//! Differential suite: the persistent clause pool must never change a
+//! verdict.
+//!
+//! Pool imports are learnt clauses — implied by the formulas the exporter
+//! was solving — replayed into later sessions either frame-relocated
+//! (step direction, coordinates normalised against the template layout)
+//! or tag-guarded verbatim (base direction, gated on an identical
+//! problem-clause addition history). Both transports are sound exactly
+//! when every replayed clause is implied by the *importer's* formula too,
+//! so the observable contract is: a pooled run answers every query the
+//! same as a pool-free run. SAT models are not unique — a warm solver may
+//! find a different (equally valid) counterexample — so this suite pins
+//! everything the flows branch on (verdict class, proof depth `k`,
+//! violation cycle, trace length) and leaves per-signal values free,
+//! mirroring `session_differential.rs`.
+//!
+//! Each design runs three ways per unroll mode: a cold pooled session
+//! (exports glue into the shared seed), a warm pooled session over the
+//! same seed (imports the relocated/tagged clauses — the interesting
+//! run), and a pool-off control. All three must agree on every target.
+
+use genfv_mc::{
+    BmcResult, CheckConfig, PoolScope, ProofSession, ProveResult, SessionSeed, UnrollMode,
+};
+
+fn assert_prove_eq(warm: &ProveResult, control: &ProveResult, what: &str) {
+    match (warm, control) {
+        (ProveResult::Proven { k: a, .. }, ProveResult::Proven { k: b, .. }) => {
+            assert_eq!(a, b, "proof depth diverged on {what}");
+        }
+        (
+            ProveResult::Falsified { at: a, trace: ta, .. },
+            ProveResult::Falsified { at: b, trace: tb, .. },
+        ) => {
+            assert_eq!(a, b, "violation cycle diverged on {what}");
+            assert_eq!(ta.steps.len(), tb.steps.len(), "trace length diverged on {what}");
+        }
+        (
+            ProveResult::StepFailure { k: a, trace: ta, .. },
+            ProveResult::StepFailure { k: b, trace: tb, .. },
+        ) => {
+            assert_eq!(a, b, "step-failure depth diverged on {what}");
+            assert_eq!(ta.steps.len(), tb.steps.len(), "step CEX length diverged on {what}");
+        }
+        (ProveResult::Unknown { reason: a, .. }, ProveResult::Unknown { reason: b, .. }) => {
+            assert_eq!(a, b, "unknown reason diverged on {what}");
+        }
+        (a, b) => panic!("prove verdict diverged on {what}: pooled {a:?} vs pool-off {b:?}"),
+    }
+}
+
+fn assert_bmc_eq(warm: &BmcResult, control: &BmcResult, what: &str) {
+    match (warm, control) {
+        (BmcResult::Clean { depth: a, .. }, BmcResult::Clean { depth: b, .. }) => {
+            assert_eq!(a, b, "clean depth diverged on {what}");
+        }
+        (
+            BmcResult::Falsified { at: a, trace: ta, .. },
+            BmcResult::Falsified { at: b, trace: tb, .. },
+        ) => {
+            assert_eq!(a, b, "violation cycle diverged on {what}");
+            assert_eq!(ta.steps.len(), tb.steps.len(), "trace length diverged on {what}");
+        }
+        (a, b) => panic!("BMC verdict diverged on {what}: pooled {a:?} vs pool-off {b:?}"),
+    }
+}
+
+fn pooled_config(mode: UnrollMode) -> CheckConfig {
+    CheckConfig { max_k: 4, unroll_mode: mode, ..Default::default() }
+}
+
+/// K-induction over the whole corpus, both unroll modes: cold pooled
+/// export, warm pooled import, pool-off control — identical verdicts.
+#[test]
+fn pooled_prove_matches_pool_off_on_corpus() {
+    for mode in [UnrollMode::Template, UnrollMode::DagWalk] {
+        let mut imported_total = 0u64;
+        for bundle in genfv_designs::all_designs() {
+            let design = bundle.prepare().expect("corpus designs prepare");
+            let seed = SessionSeed::for_design(&design.ctx, &design.ts);
+            let base = pooled_config(mode);
+            let pooled = CheckConfig { seed: Some(seed.clone()), ..base.clone() };
+            let off = CheckConfig { clause_pool: PoolScope::Off, ..base };
+
+            // Cold pooled run: populates the seed's pool.
+            let mut cold = ProofSession::new(&design.ctx, &design.ts, pooled.clone());
+            let cold_res: Vec<_> = design.targets.iter().map(|t| cold.prove(&t.prop)).collect();
+            // Warm pooled run: same seed, imports the cold run's glue.
+            let mut warm = ProofSession::new(&design.ctx, &design.ts, pooled);
+            // Pool-off control.
+            let mut ctrl = ProofSession::new(&design.ctx, &design.ts, off);
+            for (target, cold_r) in design.targets.iter().zip(&cold_res) {
+                let what = format!("{}::{} ({mode:?})", bundle.name, target.name);
+                let warm_r = warm.prove(&target.prop);
+                let ctrl_r = ctrl.prove(&target.prop);
+                assert_prove_eq(cold_r, &ctrl_r, &what);
+                assert_prove_eq(&warm_r, &ctrl_r, &what);
+            }
+            imported_total += warm.stats().pool_clauses_imported;
+            assert_eq!(ctrl.stats().pool_clauses_imported, 0, "{}: control leaked", bundle.name);
+            assert_eq!(ctrl.stats().pool_clauses_exported, 0, "{}: control leaked", bundle.name);
+        }
+        assert!(imported_total > 0, "{mode:?}: warm sessions must actually replay pooled glue");
+    }
+}
+
+/// BMC over the same three-way split — the base-direction (tag-guarded
+/// verbatim) transport, including the clean-depth skip replay of warm
+/// sessions.
+#[test]
+fn pooled_bmc_matches_pool_off_on_corpus() {
+    for mode in [UnrollMode::Template, UnrollMode::DagWalk] {
+        for bundle in genfv_designs::all_designs() {
+            let design = bundle.prepare().expect("corpus designs prepare");
+            let seed = SessionSeed::for_design(&design.ctx, &design.ts);
+            let base = pooled_config(mode);
+            let pooled = CheckConfig { seed: Some(seed.clone()), ..base.clone() };
+            let off = CheckConfig { clause_pool: PoolScope::Off, ..base };
+
+            let mut cold = ProofSession::new(&design.ctx, &design.ts, pooled.clone());
+            let cold_res: Vec<_> =
+                design.targets.iter().map(|t| cold.bmc_check(&t.prop, 8)).collect();
+            let mut warm = ProofSession::new(&design.ctx, &design.ts, pooled);
+            let mut ctrl = ProofSession::new(&design.ctx, &design.ts, off);
+            for (target, cold_r) in design.targets.iter().zip(&cold_res) {
+                let what = format!("{}::{} ({mode:?})", bundle.name, target.name);
+                let warm_r = warm.bmc_check(&target.prop, 8);
+                let ctrl_r = ctrl.bmc_check(&target.prop, 8);
+                assert_bmc_eq(cold_r, &ctrl_r, &what);
+                assert_bmc_eq(&warm_r, &ctrl_r, &what);
+            }
+        }
+    }
+}
+
+/// BaseOnly scope (what the LLM-driven flows run) leaves the step
+/// direction untouched: step-failure traces of a warm BaseOnly session
+/// are *bit-identical* to a cold run's, not just class-equal — the
+/// property the service differential relies on for lemma reproducibility.
+#[test]
+fn base_only_scope_reproduces_step_models_exactly() {
+    for bundle in genfv_designs::all_designs() {
+        let design = bundle.prepare().expect("corpus designs prepare");
+        let seed = SessionSeed::for_design(&design.ctx, &design.ts);
+        let base = pooled_config(UnrollMode::Template);
+        let scoped = CheckConfig {
+            seed: Some(seed.clone()),
+            clause_pool: PoolScope::BaseOnly,
+            ..base.clone()
+        };
+        let cold_ctrl = CheckConfig { clause_pool: PoolScope::Off, ..base };
+
+        // Populate the seed's pool (base-direction entries).
+        let mut cold = ProofSession::new(&design.ctx, &design.ts, scoped.clone());
+        for t in &design.targets {
+            let _ = cold.prove(&t.prop);
+        }
+        let mut warm = ProofSession::new(&design.ctx, &design.ts, scoped);
+        let mut ctrl = ProofSession::new(&design.ctx, &design.ts, cold_ctrl);
+        for target in &design.targets {
+            let warm_r = warm.prove(&target.prop);
+            let ctrl_r = ctrl.prove(&target.prop);
+            let what = format!("{}::{}", bundle.name, target.name);
+            assert_prove_eq(&warm_r, &ctrl_r, &what);
+            if let (
+                ProveResult::StepFailure { trace: tw, .. },
+                ProveResult::StepFailure { trace: tc, .. },
+            ) = (&warm_r, &ctrl_r)
+            {
+                assert_eq!(
+                    tw.steps, tc.steps,
+                    "BaseOnly warm start changed a step model on {what}"
+                );
+            }
+        }
+    }
+}

@@ -365,6 +365,18 @@ pub struct FrameStamp {
     xmap: Vec<Lit>,
 }
 
+impl FrameStamp {
+    /// First solver variable of the frame's interior window.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// The literal substituted for each template X-slot bit.
+    pub fn xmap(&self) -> &[Lit] {
+        &self.xmap
+    }
+}
+
 /// A one-time blast of a transition relation into a relocatable clause
 /// block; see the [module docs](self) for the architecture.
 #[derive(Clone, Debug)]
@@ -723,6 +735,11 @@ impl Template {
     /// not allocated).
     pub fn num_vars(&self) -> u32 {
         self.interior.num_vars()
+    }
+
+    /// Number of current-state (X) slot bits substituted at stamp time.
+    pub fn x_bits(&self) -> u32 {
+        self.x_bits
     }
 
     /// Clauses per frame (interior block plus boundary layer).

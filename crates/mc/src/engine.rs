@@ -157,6 +157,36 @@ pub struct CheckConfig {
     /// for, so a stale handle is inert rather than unsound. `None` (the
     /// default) starts every session cold.
     pub seed: Option<std::sync::Arc<crate::session::SessionSeed>>,
+    /// How much of the seed's persistent learnt-clause pool sessions
+    /// participate in (replaying pooled glue before each query and
+    /// publishing their own glue after; see [`genfv_sat::ClausePool`]).
+    /// [`PoolScope::Full`] by default; inert without a matching
+    /// [`CheckConfig::seed`].
+    pub clause_pool: PoolScope,
+}
+
+/// Scope of a session's clause-pool participation
+/// ([`CheckConfig::clause_pool`]).
+///
+/// Pool imports never change a complete query's SAT/UNSAT answer, but
+/// they legitimately steer the search — a warm solver can find a
+/// *different model* than a cold one. Flows whose downstream decisions
+/// read step-direction models (induction-step counterexamples rendered
+/// into LLM prompts, Houdini violation witnesses selecting which
+/// candidates die) therefore run [`PoolScope::BaseOnly`]: base-direction
+/// answers are consumed as booleans (clean/violated, earliest cycle), so
+/// warm-starting them is reproducibility-invariant, while step queries
+/// stay bit-identical to a cold run. Unaided workloads (plain induction,
+/// baseline sweeps) keep [`PoolScope::Full`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolScope {
+    /// No pool participation (differential-testing control).
+    Off,
+    /// Base-direction queries only: model-reproducibility-safe.
+    BaseOnly,
+    /// Both directions (default).
+    #[default]
+    Full,
 }
 
 impl Default for CheckConfig {
@@ -168,6 +198,7 @@ impl Default for CheckConfig {
             portfolio: None,
             unroll_mode: crate::unroll::UnrollMode::default(),
             seed: None,
+            clause_pool: PoolScope::default(),
         }
     }
 }

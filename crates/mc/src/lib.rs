@@ -67,7 +67,9 @@ pub mod trace;
 pub mod unroll;
 pub mod wave;
 
-pub use engine::{bmc, BmcResult, CheckConfig, CheckStats, KInduction, Property, ProveResult};
+pub use engine::{
+    bmc, BmcResult, CheckConfig, CheckStats, KInduction, PoolScope, Property, ProveResult,
+};
 pub use genfv_portfolio::{Portfolio, PortfolioConfig, RaceOutcome, WorkerStats};
 pub use rebuild::{bmc_rebuild, prove_all_rebuild, prove_rebuild, EngineMode};
 pub use session::{ProofSession, SessionSeed, SessionStats};

@@ -57,8 +57,8 @@ use crate::engine::{BmcResult, CheckConfig, CheckStats, Property, ProveResult};
 use crate::trace::{read_symbol_cycles, Trace, TraceKind};
 use crate::unroll::{UnrollMode, Unroller};
 use genfv_ir::{Context, ExprRef, Template, TransitionSystem};
-use genfv_sat::{ActivationGroup, Lit, SolveResult};
-use std::collections::HashMap;
+use genfv_sat::{ActivationGroup, BaseTag, ClausePool, Lit, PoolConfig, SolveResult, StepTables};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -112,6 +112,11 @@ pub struct SessionSeed {
     /// Deepest from-reset cycle proven violation-free per observable,
     /// merged from every seeded session over this design.
     clean: Mutex<HashMap<ExprRef, usize>>,
+    /// Persistent learnt-clause pool: low-LBD glue exported by every
+    /// seeded session's solvers, replayed into later sessions over the
+    /// same design (see [`genfv_sat::ClausePool`] for the relocation and
+    /// tag-matching soundness arguments).
+    pool: ClausePool,
     /// Times a session reused the already-built template.
     template_reuses: AtomicU64,
     /// Times a session had to build the template (0 or 1 in practice).
@@ -130,14 +135,31 @@ impl SessionSeed {
     /// accounted for in [`SessionSeed::matches`] — but two seeds with
     /// different salts never report the same fingerprint.
     pub fn for_design_salted(ctx: &Context, ts: &TransitionSystem, salt: u64) -> Arc<SessionSeed> {
+        Self::for_design_pooled(ctx, ts, salt, PoolConfig::default())
+    }
+
+    /// [`SessionSeed::for_design_salted`] with an explicit clause-pool
+    /// configuration (byte budget, LBD cutoff, per-call limits).
+    pub fn for_design_pooled(
+        ctx: &Context,
+        ts: &TransitionSystem,
+        salt: u64,
+        pool: PoolConfig,
+    ) -> Arc<SessionSeed> {
         Arc::new(SessionSeed {
             fingerprint: Self::fingerprint(ctx, ts) ^ salt,
             salt,
             template: Mutex::new(None),
             clean: Mutex::new(HashMap::new()),
+            pool: ClausePool::new(pool),
             template_reuses: AtomicU64::new(0),
             template_builds: AtomicU64::new(0),
         })
+    }
+
+    /// The seed's persistent learnt-clause pool.
+    pub fn pool(&self) -> &ClausePool {
+        &self.pool
     }
 
     /// The salt this seed was created with (0 unless the creator passed
@@ -235,8 +257,8 @@ impl SessionSeed {
         }
     }
 
-    /// Rough heap footprint (template clause arena plus the clean pool),
-    /// for cache byte budgets.
+    /// Rough heap footprint (template clause arena, clean pool, clause
+    /// pool), for cache byte budgets.
     pub fn approx_bytes(&self) -> usize {
         let template = self
             .template
@@ -246,7 +268,7 @@ impl SessionSeed {
             // ~16 bytes per clause of arena payload plus per-var metadata.
             .map(|t| t.num_clauses() * 16 + t.num_vars() as usize * 8)
             .unwrap_or(0);
-        template + self.clean.lock().expect("seed clean lock").len() * 24
+        template + self.clean.lock().expect("seed clean lock").len() * 24 + self.pool.approx_bytes()
     }
 }
 
@@ -293,6 +315,20 @@ pub struct SessionStats {
     /// Sessions that stamped from a seed's already-built template instead
     /// of blasting their own.
     pub templates_reused: u64,
+    /// Queries answered by cube-and-conquer (the portfolio split the
+    /// search space instead of racing configurations).
+    pub cube_splits: u64,
+    /// Total cubes conquered across all cube-split queries.
+    pub cubes_raced: u64,
+    /// Learnt clauses replayed from the seed's clause pool into this
+    /// session's solvers.
+    pub pool_clauses_imported: u64,
+    /// Learnt clauses this session published into the seed's clause pool.
+    pub pool_clauses_exported: u64,
+    /// Pool imports that yielded at least one clause (warm-start hits).
+    pub pool_hits: u64,
+    /// Pool entries evicted (byte budget) by this session's exports.
+    pub pool_evictions: u64,
 }
 
 impl SessionStats {
@@ -320,6 +356,12 @@ impl SessionStats {
         self.portfolio_glue_shared += other.portfolio_glue_shared;
         self.clean_seed_hits += other.clean_seed_hits;
         self.templates_reused += other.templates_reused;
+        self.cube_splits += other.cube_splits;
+        self.cubes_raced += other.cubes_raced;
+        self.pool_clauses_imported += other.pool_clauses_imported;
+        self.pool_clauses_exported += other.pool_clauses_exported;
+        self.pool_hits += other.pool_hits;
+        self.pool_evictions += other.pool_evictions;
     }
 }
 
@@ -372,6 +414,13 @@ pub struct ProofSession<'c> {
     /// The clean depths that came in from the seed, kept apart from
     /// locally-discovered ones so seed hits are attributable.
     seeded_clean: HashMap<ExprRef, usize>,
+    /// Clause-pool entry ids this session has already replayed (or
+    /// itself exported) — never imported twice.
+    pool_consumed: HashSet<u64>,
+    /// Every [`BaseTag`] of the base solver's own addition history, one
+    /// per base query (real or clean-skipped): the tags this session can
+    /// soundly vouch for when importing base-direction pool entries.
+    base_tags_seen: HashSet<BaseTag>,
     /// Simple-path activation literal (created on first use, step side).
     sp_guard: Option<Lit>,
     /// Simple-path pairs exist for all `(i, j)` with `j <= sp_frames`.
@@ -432,6 +481,8 @@ impl<'c> ProofSession<'c> {
             step_prop_guards: std::collections::HashMap::new(),
             seed,
             seeded_clean,
+            pool_consumed: HashSet::new(),
+            base_tags_seen: HashSet::new(),
             sp_guard: None,
             sp_frames: 0,
             selectors: ActivationGroup::new(),
@@ -568,8 +619,101 @@ impl<'c> ProofSession<'c> {
         w
     }
 
+    /// The seed's clause pool, when this session participates in it for
+    /// direction `dir` (a seed was adopted and
+    /// [`CheckConfig::clause_pool`] covers the direction).
+    fn pool_seed(&self, dir: Dir) -> Option<Arc<SessionSeed>> {
+        let covered = match self.config.clause_pool {
+            crate::engine::PoolScope::Off => false,
+            crate::engine::PoolScope::BaseOnly => dir == Dir::Base,
+            crate::engine::PoolScope::Full => true,
+        };
+        if !covered {
+            return None;
+        }
+        self.seed.clone()
+    }
+
+    /// The step solver's frame layout in [`StepTables`] form — every
+    /// stamped frame's window base plus frame 0's free-state literals.
+    /// `None` outside template mode (DAG-walked frames have no uniform
+    /// windows to normalize against).
+    fn step_tables(&self) -> Option<(Vec<usize>, usize, Vec<Lit>)> {
+        let width = self.step.template()?.num_vars() as usize;
+        let mut bases = Vec::new();
+        while let Some(s) = self.step.frame_stamp(bases.len()) {
+            bases.push(s.base());
+        }
+        let x_lits = self.step.frame_stamp(0)?.xmap().to_vec();
+        Some((bases, width, x_lits))
+    }
+
+    /// Pre-query pool participation: replay every eligible pool entry
+    /// into `dir`'s solver, and return the context the post-query export
+    /// needs (the seed, the base-direction tag of this query, and the
+    /// learnt-clause mark delimiting what this query learns).
+    fn pool_pre(&mut self, dir: Dir) -> Option<(Arc<SessionSeed>, Option<BaseTag>, usize)> {
+        let seed = self.pool_seed(dir)?;
+        let (tag, clauses) = match dir {
+            Dir::Base => {
+                let tag = BaseTag::of(self.base.blaster().solver());
+                self.base_tags_seen.insert(tag);
+                let tags = &self.base_tags_seen;
+                let clauses =
+                    seed.pool().import_base(&mut self.pool_consumed, |t| tags.contains(t));
+                (Some(tag), clauses)
+            }
+            Dir::Step => {
+                let (bases, width, x_lits) = self.step_tables()?;
+                let tables =
+                    StepTables { window_bases: &bases, window_width: width, x_lits: &x_lits };
+                (None, seed.pool().import_step(&mut self.pool_consumed, &tables))
+            }
+        };
+        if !clauses.is_empty() {
+            let solver = self.un(dir).blaster_mut().solver_mut();
+            for c in &clauses {
+                solver.import_learnt(c);
+            }
+            self.stats.pool_clauses_imported += clauses.len() as u64;
+            self.stats.pool_hits += 1;
+        }
+        let mark = self.un(dir).blaster().solver().clause_db_mark();
+        Some((seed, tag, mark))
+    }
+
+    /// Post-query pool participation: publish the glue this query learnt
+    /// (base clauses verbatim under the query-start tag; step clauses
+    /// normalized through the frame tables), marking the admitted ids as
+    /// consumed so this session never re-imports its own exports.
+    fn pool_post(&mut self, dir: Dir, seed: &SessionSeed, tag: Option<BaseTag>, mark: usize) {
+        let cfg = seed.pool().config().clone();
+        let clauses =
+            self.un(dir).blaster().solver().export_glue_since(mark, cfg.max_lbd, cfg.export_limit);
+        if clauses.is_empty() {
+            return;
+        }
+        let evictions_before = seed.pool().stats().evictions;
+        let ids = match (dir, tag) {
+            (Dir::Base, Some(tag)) => seed.pool().export_base(tag, &clauses),
+            (Dir::Step, _) => {
+                let Some((bases, width, x_lits)) = self.step_tables() else {
+                    return;
+                };
+                let tables =
+                    StepTables { window_bases: &bases, window_width: width, x_lits: &x_lits };
+                seed.pool().export_step(&clauses, &tables)
+            }
+            _ => return,
+        };
+        self.stats.pool_clauses_exported += ids.len() as u64;
+        self.pool_consumed.extend(ids);
+        self.stats.pool_evictions += seed.pool().stats().evictions.saturating_sub(evictions_before);
+    }
+
     fn solve_on(&mut self, dir: Dir, window: usize, extra: &[Lit]) -> SolveResult {
         self.ensure_frames_dir(dir, window);
+        let pool_ctx = self.pool_pre(dir);
         let mut assumptions = Vec::with_capacity(window + 1 + extra.len());
         // The caller's assumptions (obligations, hypothesis selectors) go
         // first so the search is focused on the actual query before the
@@ -594,6 +738,10 @@ impl<'c> ProofSession<'c> {
                     self.stats.portfolio_races += 1;
                     self.stats.portfolio_glue_shared += out.glue_imported as u64;
                 }
+                if out.cubes_raced > 0 {
+                    self.stats.cube_splits += 1;
+                    self.stats.cubes_raced += out.cubes_raced as u64;
+                }
                 self.last_effort =
                     (out.winner.conflicts, out.winner.decisions, out.winner.propagations);
                 out.result
@@ -608,6 +756,9 @@ impl<'c> ProofSession<'c> {
                 result
             }
         };
+        if let Some((seed, tag, mark)) = pool_ctx {
+            self.pool_post(dir, &seed, tag, mark);
+        }
         let clauses =
             self.base.blaster().solver().num_clauses() + self.step.blaster().solver().num_clauses();
         let core = {
@@ -728,6 +879,28 @@ impl<'c> ProofSession<'c> {
         if self.seeded_clean.get(&ok).is_some_and(|&clean| k <= clean) {
             self.stats.clean_seed_hits += 1;
         }
+        self.replay_skipped_base(ok, k);
+    }
+
+    /// A clean-depth skip elides a whole base-case solve — but the solve
+    /// it elides once *learnt* clauses, and (in a seeded lineage) pooled
+    /// them. Replay that capital: materialize exactly the frames and
+    /// property cone the skipped query would have built, so the base
+    /// solver's clause-addition history — and hence its [`BaseTag`] —
+    /// reaches the same point a cold session's query start would, then
+    /// import every pool entry exported at that tag. The skip stays a
+    /// skip (no solver call, no conflict budget spent); only the skipped
+    /// solve's learnt clauses come back, warm-starting the first query
+    /// past the clean frontier.
+    fn replay_skipped_base(&mut self, ok: ExprRef, k: usize) {
+        if self.pool_seed(Dir::Base).is_none() {
+            return;
+        }
+        self.ensure_frames_dir(Dir::Base, k);
+        let _bad = self.base.lit_at(k, ok);
+        // Records the tag and imports matching base entries; the mark is
+        // dropped — nothing is solved, so there is nothing to export.
+        let _ = self.pool_pre(Dir::Base);
     }
 
     /// Bounded reachability without trace extraction: the earliest cycle
@@ -1092,6 +1265,64 @@ mod tests {
         assert!(!seed.matches(&ctx2, &ts2));
         let cold = ProofSession::new(&ctx2, &ts2, config.clone());
         assert_eq!(cold.stats().templates_reused, 0);
+    }
+
+    /// s' = s + i with the free input constrained to i ≤ 16: proving
+    /// "s ≠ 255 at cycle k" (true while 16·k < 255) forces the solver to
+    /// bound the accumulated sum through the adder carries — real search,
+    /// real learnt clauses, unlike a closed-form chain the base
+    /// direction's constant folding would evaluate outright.
+    fn bounded_accumulator(ctx: &mut Context) -> TransitionSystem {
+        let s = ctx.symbol("s", 8);
+        let i = ctx.symbol("i", 8);
+        let zero = ctx.constant(0, 8);
+        let cap = ctx.constant(17, 8);
+        let next = ctx.add(s, i);
+        let small = ctx.ult(i, cap);
+        let mut ts = TransitionSystem::new("bounded_accumulator");
+        ts.add_state(s, Some(zero), next);
+        ts.add_input(i);
+        ts.add_constraint(small);
+        ts.add_signal("s", s);
+        ts
+    }
+
+    #[test]
+    fn clause_pool_warm_starts_clean_skips_and_stays_sound() {
+        let mut ctx = Context::new();
+        let ts = bounded_accumulator(&mut ctx);
+        let s = ctx.find_symbol("s").unwrap();
+        let full = ctx.constant(255, 8);
+        let ne_full = ctx.ne(s, full); // 16·12 < 255: clean through depth 12
+        let prop = Property::new("ne_full", ne_full);
+        let seed = SessionSeed::for_design(&ctx, &ts);
+        let config = CheckConfig { seed: Some(Arc::clone(&seed)), ..Default::default() };
+
+        // Cold session: solves every base case, publishing glue + tags.
+        let cold_stats = {
+            let mut s = ProofSession::new(&ctx, &ts, config.clone());
+            assert!(s.bmc_check(&prop, 12).is_clean());
+            *s.stats()
+        };
+        assert!(cold_stats.pool_clauses_exported > 0, "multiplier queries must learn glue");
+        assert!(seed.pool().stats().exports > 0);
+        assert!(seed.pool().approx_bytes() > 0, "pool bytes count toward the seed footprint");
+
+        // Warm session: every base case is clean-skipped, yet the skipped
+        // solves' learnt clauses are replayed through the pool.
+        let mut warm = ProofSession::new(&ctx, &ts, config.clone());
+        assert!(warm.bmc_check(&prop, 12).is_clean());
+        assert!(warm.stats().clean_seed_hits >= 12, "cycles skipped from the seed");
+        assert!(warm.stats().pool_clauses_imported > 0, "skips must replay pooled clauses");
+        assert!(warm.stats().pool_hits > 0);
+        drop(warm);
+
+        // Pool-disabled control: same verdict, no pool traffic.
+        let off = CheckConfig { clause_pool: crate::engine::PoolScope::Off, ..config };
+        let mut control = ProofSession::new(&ctx, &ts, off);
+        assert!(control.bmc_check(&prop, 12).is_clean());
+        assert_eq!(control.stats().pool_clauses_imported, 0);
+        assert_eq!(control.stats().pool_clauses_exported, 0);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Cube splitting for cube-and-conquer.
+//!
+//! The portfolio layer (crate `genfv-portfolio`) races *configurations*
+//! of one solver on one query; the complementary axis is splitting the
+//! *search space*. [`split`] partitions a query into `2^d` **cubes** —
+//! complete sign assignments over `d` carefully chosen branching
+//! variables — which workers then refute (or satisfy) independently:
+//!
+//! * the cubes are exhaustive and pairwise disjoint by construction, so
+//!   **any** SAT cube satisfies the original query, and **all** cubes
+//!   UNSAT refutes it;
+//! * each per-cube assumption core, restricted to the *original*
+//!   assumptions, witnesses the refutation of that cube, so the union of
+//!   restricted cores is a valid core for the whole query.
+//!
+//! ## Variable selection
+//!
+//! Good cube variables split the search space evenly and propagate hard
+//! in both phases. Selection is two-staged, March-style but driven by
+//! the CDCL solver's own state (the conflict-budget probe that precedes
+//! a split has already populated VSIDS activities):
+//!
+//! 1. rank unassigned variables by VSIDS activity (ties by index) and
+//!    keep the top `candidates`;
+//! 2. under the query's assumptions, **lookahead-score** each candidate
+//!    by failed-literal probing both phases ([`Solver::probe_lit`]):
+//!    a variable whose either phase conflicts is skipped (it is not a
+//!    splitter — one side is already implied), otherwise its score is
+//!    the *minimum* of the two propagation counts, favouring balanced,
+//!    high-propagation splits.
+//!
+//! The top `depth` scorers become the cube variables. Everything is
+//! deterministic: identical solver state and arguments yield identical
+//! cubes, which the portfolio's lock-step scheduler depends on.
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// Splits a query into `2^depth` sign cubes over lookahead-scored
+/// high-activity variables (see the [module docs](self)).
+///
+/// Returns `None` when no useful split exists: `depth` is zero, the
+/// assumptions already conflict under propagation (the caller's plain
+/// solve will settle the query immediately), or fewer than `depth`
+/// candidates survive probing. The solver's trail is restored either
+/// way; only phase-saving and propagation counters are perturbed.
+pub fn split(
+    solver: &mut Solver,
+    assumptions: &[Lit],
+    depth: u32,
+    candidates: usize,
+) -> Option<Vec<Vec<Lit>>> {
+    if depth == 0 || candidates == 0 {
+        return None;
+    }
+    if !solver.push_assumptions(assumptions) {
+        solver.backtrack_to_root();
+        return None;
+    }
+
+    // Stage 1: top `candidates` unassigned variables by VSIDS activity.
+    let mut ranked: Vec<Var> =
+        (0..solver.num_vars()).map(Var::from_index).filter(|&v| solver.is_unassigned(v)).collect();
+    ranked.sort_by(|&a, &b| {
+        solver
+            .activity(b)
+            .partial_cmp(&solver.activity(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index().cmp(&b.index()))
+    });
+    ranked.truncate(candidates);
+
+    // Stage 2: lookahead-score both phases of each candidate.
+    let mut scored: Vec<(usize, Var)> = Vec::with_capacity(ranked.len());
+    for v in ranked {
+        let Some(pos) = solver.probe_lit(Lit::pos(v)) else { continue };
+        let Some(neg) = solver.probe_lit(Lit::neg(v)) else { continue };
+        scored.push((pos.min(neg), v));
+    }
+    solver.backtrack_to_root();
+
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.index().cmp(&b.1.index())));
+    scored.truncate(depth as usize);
+    if scored.len() < depth as usize {
+        return None; // not enough splitters: fall back to plain racing
+    }
+
+    let vars: Vec<Var> = scored.into_iter().map(|(_, v)| v).collect();
+    let n = vars.len() as u32;
+    let cubes = (0..1u64 << n)
+        .map(|mask| {
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| Lit::new(v, mask & (1 << i) != 0))
+                .collect::<Vec<Lit>>()
+        })
+        .collect();
+    Some(cubes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    /// PHP(n, n-1), returning the literal matrix.
+    fn pigeonhole(s: &mut Solver, n: usize) -> Vec<Vec<Lit>> {
+        let mut p = vec![vec![Lit::UNDEF; n - 1]; n];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::pos(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (&a, &b) in row_i.iter().zip(row_j) {
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn cubes_are_exhaustive_and_disjoint() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6);
+        s.set_conflict_budget(50);
+        s.solve(); // populate activities
+        let cubes = split(&mut s, &[], 3, 16).expect("splittable");
+        assert_eq!(cubes.len(), 8);
+        let vars: Vec<Var> = cubes[0].iter().map(|l| l.var()).collect();
+        for cube in &cubes {
+            assert_eq!(cube.iter().map(|l| l.var()).collect::<Vec<_>>(), vars);
+        }
+        // All 8 sign patterns occur exactly once.
+        let mut masks: Vec<u32> = cubes
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, l)| (l.is_neg() as u32) << i).sum())
+            .collect();
+        masks.sort_unstable();
+        assert_eq!(masks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn splitting_is_deterministic() {
+        let mk = || {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, 6);
+            s.set_conflict_budget(50);
+            s.solve();
+            split(&mut s, &[], 3, 16)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn all_cubes_unsat_on_an_unsat_instance() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6);
+        s.set_conflict_budget(50);
+        s.solve();
+        let cubes = split(&mut s, &[], 2, 16).expect("splittable");
+        for cube in &cubes {
+            assert!(s.solve_with_assumptions(cube).is_unsat());
+        }
+    }
+
+    #[test]
+    fn sat_survives_in_some_cube() {
+        let mut s = Solver::new();
+        let v: Vec<Lit> = (0..8).map(|_| Lit::pos(s.new_var())).collect();
+        // A satisfiable ring of implications.
+        for w in v.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        s.set_conflict_budget(10);
+        s.solve();
+        let Some(cubes) = split(&mut s, &[], 2, 8) else {
+            return; // too easy to split — nothing to check
+        };
+        let sat = cubes.iter().filter(|c| s.solve_with_assumptions(c) == SolveResult::Sat).count();
+        assert!(sat >= 1, "an exhaustive split of a SAT formula has a SAT cube");
+    }
+
+    #[test]
+    fn conflicting_assumptions_refuse_to_split() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_clause([!a, b]);
+        assert!(split(&mut s, &[a, !b], 2, 8).is_none());
+        // The solver is restored: the query still answers normally.
+        assert!(s.solve_with_assumptions(&[a, !b]).is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn depth_zero_never_splits() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        assert!(split(&mut s, &[], 0, 8).is_none());
+    }
+}

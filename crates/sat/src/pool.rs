@@ -1,0 +1,657 @@
+//! A persistent, relocatable learnt-clause pool.
+//!
+//! CDCL solvers accumulate "glue" (low-LBD learnt clauses) that encodes
+//! hard-won structural knowledge about a formula — and ordinarily all of
+//! it dies with the solver. For the model checker's workload this is
+//! especially wasteful: every step obligation of every property of every
+//! session over one design is a query about the *same* template-stamped
+//! transition relation, differing only in which solver variables each
+//! time frame landed on. A [`ClausePool`] outlives individual solvers and
+//! carries their glue across queries, properties, sessions, portfolio
+//! clones, and service jobs.
+//!
+//! ## Two entry kinds, two soundness arguments
+//!
+//! **Step entries** come from free-start (induction-step) solvers whose
+//! frames are template stamps. A learnt clause qualifies for the pool iff
+//! every variable it names lies inside some frame's interior window or in
+//! the frame-0 free-state (X) range. Such a clause is implied by the
+//! stamped frame chain `T₀ ∧ T₁ ∧ … ∧ T_f` alone (`f` = its deepest
+//! frame): every other problem clause in the session solver — frame
+//! guards, lemma selectors, property monitors, simple-path difference
+//! gates — is a *conservative extension* of the chain (each is either
+//! guarded by a literal the chain leaves free, or a Tseitin definition of
+//! a fresh variable), so any model of the chain extends to a model of the
+//! full clause set, and a chain-variable clause implied by the full set
+//! is implied by the chain. The chain itself is determined (up to the
+//! bijective window renaming) by the template, so the clause can be
+//! replayed in *any* solver that has stamped frames `0..=f` of the same
+//! template, by rewriting each literal through that solver's frame
+//! tables. Entries are therefore stored in solver-independent
+//! *normalized* coordinates: `(frame, window slot)` per interior literal
+//! and `(X, bit)` per free-state literal.
+//!
+//! The same argument supports shifting a clause *up* by δ ≥ 0 frames
+//! (frame `f` ↦ frame `f+δ`, X bit `i` ↦ frame δ's state-substitution
+//! literal): the chain suffix `T_δ ∧ … ∧ T_{f+δ}` is an isomorphic copy
+//! of the prefix the clause was learnt over, *more* constrained at its
+//! input boundary (frame δ's state bits are next-state outputs rather
+//! than free variables), so the implication is preserved. Shifting
+//! *down* would be unsound — it drops the is-reachable-from-a-predecessor
+//! constraint. [`ClausePool::import_step`] instantiates at whatever
+//! shift the caller's [`StepTables`] encode; sessions use δ = 0.
+//!
+//! **Base entries** come from reset-pinned (BMC/base-case) solvers, whose
+//! constant folding makes frames non-uniform — no window normalization
+//! exists. Instead, each entry is stored verbatim and tagged with the
+//! exporting solver's `(num_vars, problem_hash)` — a running hash of its
+//! problem-clause addition sequence, folded *before* level-0
+//! simplification (see [`Solver::problem_hash`]). A solver may import a
+//! base entry iff the tag matches a point in its *own* addition history:
+//! equal tag means the importer's clause set is a superset of everything
+//! the exporter knew when the clause was learnt, so the clause is implied.
+//!
+//! ## Mechanics
+//!
+//! The pool is `Sync` (mutex-guarded deques + atomic counters), FIFO-ish
+//! byte-budgeted (oldest entries evicted first), deduplicated by content
+//! hash, and hands out monotonically increasing entry ids so each
+//! consumer can track what it has already replayed (and skip its own
+//! exports) with a plain id set.
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tunable parameters of a [`ClausePool`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Byte budget; oldest entries are evicted once exceeded.
+    pub max_bytes: usize,
+    /// Only clauses with LBD at or below this are worth pooling.
+    pub max_lbd: u32,
+    /// Maximum clauses admitted per export call.
+    pub export_limit: usize,
+    /// Maximum clauses handed out per import call.
+    pub import_limit: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_bytes: 2 << 20, // 2 MiB ≈ tens of thousands of glue clauses
+            max_lbd: 3,
+            export_limit: 512,
+            import_limit: 1024,
+        }
+    }
+}
+
+/// Identifies a point in a base-direction solver's problem-clause
+/// addition history; see [`Solver::problem_hash`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BaseTag {
+    /// Variable count at the tagged point.
+    pub num_vars: u64,
+    /// Running problem hash at the tagged point.
+    pub problem_hash: u64,
+}
+
+impl BaseTag {
+    /// The tag of `solver`'s current problem-clause prefix.
+    pub fn of(solver: &Solver) -> BaseTag {
+        BaseTag { num_vars: solver.num_vars() as u64, problem_hash: solver.problem_hash() }
+    }
+}
+
+/// The frame layout of a template-stamped free-start solver, used to
+/// normalize clauses on export and re-instantiate them on import.
+///
+/// `window_bases[f]` is the first solver variable of frame `f`'s interior
+/// window (strictly ascending — frames are stamped in order, with other
+/// allocations interleaved between windows). `x_lits[i]` is the literal
+/// substituted for template X slot `i` in frame 0: on export these are
+/// the contiguous fresh free-state variables; on import at shift δ they
+/// are frame δ's state-substitution literals.
+#[derive(Clone, Copy, Debug)]
+pub struct StepTables<'a> {
+    /// Interior-window base variable of each stamped frame, ascending.
+    pub window_bases: &'a [usize],
+    /// Interior window width in variables (template `num_vars`).
+    pub window_width: usize,
+    /// Substitution literals for the template's X slots.
+    pub x_lits: &'a [Lit],
+}
+
+/// One literal in normalized (solver-independent) step coordinates.
+///
+/// The derived ordering (X literals before frame literals, then by
+/// frame/slot/sign) is the canonical clause order used for content
+/// hashing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum PoolLit {
+    /// Bit `bit` of the frame-0 free state, possibly negated.
+    X {
+        /// Template X-slot index.
+        bit: u32,
+        /// Negated occurrence.
+        neg: bool,
+    },
+    /// Slot `slot` of frame `frame`'s interior window, possibly negated.
+    Frame {
+        /// Frame index (0-based).
+        frame: u32,
+        /// Offset inside the frame's interior window.
+        slot: u32,
+        /// Negated occurrence.
+        neg: bool,
+    },
+}
+
+/// A normalized step-direction clause.
+#[derive(Clone, Debug)]
+struct StepEntry {
+    lits: Vec<PoolLit>,
+    /// Deepest frame referenced; import needs frames `0..=span_top`.
+    span_top: u32,
+}
+
+/// A verbatim base-direction clause, valid under its exporter's tag.
+#[derive(Clone, Debug)]
+struct BaseEntry {
+    lits: Vec<Lit>,
+    tag: BaseTag,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    next_id: u64,
+    step: VecDeque<(u64, StepEntry)>,
+    base: VecDeque<(u64, BaseEntry)>,
+    /// Content hashes of resident entries (duplicate rejection).
+    dedup: HashSet<u64>,
+    bytes: usize,
+}
+
+/// Counter snapshot of a pool; see [`ClausePool::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Clauses admitted into the pool.
+    pub exports: u64,
+    /// Clauses handed out to importers.
+    pub imports: u64,
+    /// Import calls that yielded at least one clause.
+    pub hits: u64,
+    /// Entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Export candidates rejected as already resident.
+    pub duplicates: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+}
+
+/// A persistent learnt-clause pool; see the [module docs](self).
+#[derive(Debug)]
+pub struct ClausePool {
+    config: PoolConfig,
+    inner: Mutex<PoolInner>,
+    exports: AtomicU64,
+    imports: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+impl Default for ClausePool {
+    fn default() -> Self {
+        ClausePool::new(PoolConfig::default())
+    }
+}
+
+/// FNV-1a fold of one `u64`.
+#[inline]
+fn fnv(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const STEP_ENTRY_OVERHEAD: usize = 64;
+const POOL_LIT_BYTES: usize = 12;
+
+impl ClausePool {
+    /// Creates an empty pool.
+    pub fn new(config: PoolConfig) -> Self {
+        ClausePool {
+            config,
+            inner: Mutex::new(PoolInner::default()),
+            exports: AtomicU64::new(0),
+            imports: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Approximate resident bytes (for cache byte accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.lock().expect("pool lock").bytes
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock().expect("pool lock");
+        PoolStats {
+            exports: self.exports.load(Ordering::Relaxed),
+            imports: self.imports.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            entries: inner.step.len() + inner.base.len(),
+            bytes: inner.bytes,
+        }
+    }
+
+    /// Normalizes one solver clause through `tables`, or `None` if any
+    /// literal lies outside every frame window and the X range (guard,
+    /// selector, monitor, or simple-path variables — not chain-implied,
+    /// never poolable) or the clause is a tautology.
+    fn normalize(clause: &[Lit], tables: &StepTables<'_>) -> Option<StepEntry> {
+        let x_base = tables.x_lits.first()?.var().index();
+        let x_bits = tables.x_lits.len();
+        debug_assert!(
+            tables
+                .x_lits
+                .iter()
+                .enumerate()
+                .all(|(i, l)| l.is_pos() && l.var().index() == x_base + i),
+            "export tables need the contiguous fresh frame-0 X variables"
+        );
+        let mut lits = Vec::with_capacity(clause.len());
+        let mut span_top = 0u32;
+        for &l in clause {
+            let v = l.var().index();
+            if (x_base..x_base + x_bits).contains(&v) {
+                lits.push(PoolLit::X { bit: (v - x_base) as u32, neg: l.is_neg() });
+                continue;
+            }
+            let f = tables.window_bases.partition_point(|&b| b <= v).checked_sub(1)?;
+            let base = tables.window_bases[f];
+            if v >= base + tables.window_width {
+                return None; // between windows: guard/selector/monitor var
+            }
+            span_top = span_top.max(f as u32);
+            lits.push(PoolLit::Frame { frame: f as u32, slot: (v - base) as u32, neg: l.is_neg() });
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        for w in lits.windows(2) {
+            let same = match (w[0], w[1]) {
+                (PoolLit::X { bit: a, .. }, PoolLit::X { bit: b, .. }) => a == b,
+                (
+                    PoolLit::Frame { frame: fa, slot: sa, .. },
+                    PoolLit::Frame { frame: fb, slot: sb, .. },
+                ) => fa == fb && sa == sb,
+                _ => false,
+            };
+            if same {
+                return None; // x ∨ ¬x: tautology, worthless
+            }
+        }
+        Some(StepEntry { lits, span_top })
+    }
+
+    fn step_hash(entry: &StepEntry) -> u64 {
+        let mut h = fnv(0xcbf2_9ce4_8422_2325, 1); // step discriminator
+        for &l in &entry.lits {
+            let (a, b, c) = match l {
+                PoolLit::X { bit, neg } => (u32::MAX, bit, neg),
+                PoolLit::Frame { frame, slot, neg } => (frame, slot, neg),
+            };
+            h = fnv(h, ((a as u64) << 33) | ((b as u64) << 1) | c as u64);
+        }
+        h
+    }
+
+    fn base_hash(entry: &BaseEntry) -> u64 {
+        let mut h = fnv(0xcbf2_9ce4_8422_2325, 2); // base discriminator
+        h = fnv(h, entry.tag.num_vars);
+        h = fnv(h, entry.tag.problem_hash);
+        for &l in &entry.lits {
+            h = fnv(h, l.code() as u64);
+        }
+        h
+    }
+
+    /// Evicts oldest entries (across both kinds, by id) until the byte
+    /// budget holds. Caller holds the lock.
+    fn enforce_budget(&self, inner: &mut PoolInner) {
+        while inner.bytes > self.config.max_bytes {
+            let step_front = inner.step.front().map(|&(id, _)| id);
+            let base_front = inner.base.front().map(|&(id, _)| id);
+            let evict_step = match (step_front, base_front) {
+                (Some(s), Some(b)) => s < b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if evict_step {
+                let (_, e) = inner.step.pop_front().expect("non-empty");
+                inner.bytes -= STEP_ENTRY_OVERHEAD + e.lits.len() * POOL_LIT_BYTES;
+                inner.dedup.remove(&Self::step_hash(&e));
+            } else {
+                let (_, e) = inner.base.pop_front().expect("non-empty");
+                inner.bytes -= STEP_ENTRY_OVERHEAD + e.lits.len() * POOL_LIT_BYTES;
+                inner.dedup.remove(&Self::base_hash(&e));
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Admits step-direction glue clauses, normalized through `tables`.
+    /// Clauses touching non-window variables, tautologies, duplicates,
+    /// and anything past the per-call limit are dropped. Returns the ids
+    /// assigned, which the exporter should mark as consumed so it never
+    /// re-imports its own clauses.
+    pub fn export_step(&self, clauses: &[Vec<Lit>], tables: &StepTables<'_>) -> Vec<u64> {
+        if tables.x_lits.is_empty() || tables.window_bases.is_empty() {
+            return Vec::new();
+        }
+        let mut ids = Vec::new();
+        let mut inner = self.inner.lock().expect("pool lock");
+        for clause in clauses.iter().take(self.config.export_limit) {
+            let Some(entry) = Self::normalize(clause, tables) else { continue };
+            if entry.lits.is_empty() {
+                continue;
+            }
+            let h = Self::step_hash(&entry);
+            if !inner.dedup.insert(h) {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.bytes += STEP_ENTRY_OVERHEAD + entry.lits.len() * POOL_LIT_BYTES;
+            inner.step.push_back((id, entry));
+            ids.push(id);
+        }
+        self.exports.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.enforce_budget(&mut inner);
+        ids
+    }
+
+    /// Admits base-direction clauses verbatim under `tag`. Returns the
+    /// assigned ids (mark them consumed, as with
+    /// [`ClausePool::export_step`]).
+    pub fn export_base(&self, tag: BaseTag, clauses: &[Vec<Lit>]) -> Vec<u64> {
+        let mut ids = Vec::new();
+        let mut inner = self.inner.lock().expect("pool lock");
+        for clause in clauses.iter().take(self.config.export_limit) {
+            if clause.is_empty() {
+                continue;
+            }
+            let mut lits = clause.clone();
+            lits.sort_unstable();
+            lits.dedup();
+            let entry = BaseEntry { lits, tag };
+            let h = Self::base_hash(&entry);
+            if !inner.dedup.insert(h) {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.bytes += STEP_ENTRY_OVERHEAD + entry.lits.len() * POOL_LIT_BYTES;
+            inner.base.push_back((id, entry));
+            ids.push(id);
+        }
+        self.exports.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.enforce_budget(&mut inner);
+        ids
+    }
+
+    /// Instantiates every step entry not yet in `consumed` whose frame
+    /// span fits inside `tables`, marking handed-out ids consumed.
+    /// Entries spanning deeper than the caller's stamped window are left
+    /// unconsumed for a later, deeper import.
+    pub fn import_step(
+        &self,
+        consumed: &mut HashSet<u64>,
+        tables: &StepTables<'_>,
+    ) -> Vec<Vec<Lit>> {
+        let mut out = Vec::new();
+        let inner = self.inner.lock().expect("pool lock");
+        for (id, entry) in &inner.step {
+            if out.len() >= self.config.import_limit {
+                break;
+            }
+            if consumed.contains(id) || (entry.span_top as usize) >= tables.window_bases.len() {
+                continue;
+            }
+            let clause: Option<Vec<Lit>> = entry
+                .lits
+                .iter()
+                .map(|&l| match l {
+                    PoolLit::X { bit, neg } => {
+                        let base = *tables.x_lits.get(bit as usize)?;
+                        Some(if neg { !base } else { base })
+                    }
+                    PoolLit::Frame { frame, slot, neg } => {
+                        if (slot as usize) >= tables.window_width {
+                            return None;
+                        }
+                        let v = tables.window_bases[frame as usize] + slot as usize;
+                        let base = Lit::pos(crate::lit::Var::from_index(v));
+                        Some(if neg { !base } else { base })
+                    }
+                })
+                .collect();
+            let Some(clause) = clause else { continue };
+            consumed.insert(*id);
+            out.push(clause);
+        }
+        drop(inner);
+        if !out.is_empty() {
+            self.imports.fetch_add(out.len() as u64, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Hands out every base entry not yet in `consumed` whose tag the
+    /// caller vouches for (`accept` returns true iff the tag names a
+    /// point in the importing solver's own addition history), marking
+    /// handed-out ids consumed.
+    pub fn import_base(
+        &self,
+        consumed: &mut HashSet<u64>,
+        mut accept: impl FnMut(&BaseTag) -> bool,
+    ) -> Vec<Vec<Lit>> {
+        let mut out = Vec::new();
+        let inner = self.inner.lock().expect("pool lock");
+        for (id, entry) in &inner.base {
+            if out.len() >= self.config.import_limit {
+                break;
+            }
+            if consumed.contains(id) || !accept(&entry.tag) {
+                continue;
+            }
+            consumed.insert(*id);
+            out.push(entry.lits.clone());
+        }
+        drop(inner);
+        if !out.is_empty() {
+            self.imports.fetch_add(out.len() as u64, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(v: usize, neg: bool) -> Lit {
+        let l = Lit::pos(Var::from_index(v));
+        if neg {
+            !l
+        } else {
+            l
+        }
+    }
+
+    /// Layout: X at vars 10..14, frames of width 6 at bases 14, 30, 50.
+    fn tables<'a>(bases: &'a [usize], x: &'a [Lit]) -> StepTables<'a> {
+        StepTables { window_bases: bases, window_width: 6, x_lits: x }
+    }
+
+    fn x_lits(base: usize, n: usize) -> Vec<Lit> {
+        (0..n).map(|i| lit(base + i, false)).collect()
+    }
+
+    #[test]
+    fn step_roundtrip_relocates_across_layouts() {
+        let pool = ClausePool::default();
+        let x = x_lits(10, 4);
+        let src = tables(&[14, 30, 50], &x);
+        // (¬x1 ∨ f0.s2 ∨ ¬f2.s5) in the source layout.
+        let clause = vec![lit(11, true), lit(16, false), lit(55, true)];
+        let ids = pool.export_step(&[clause], &src);
+        assert_eq!(ids.len(), 1);
+
+        // A different session: X at 100..104, frames at 104, 200, 777.
+        let x2 = x_lits(100, 4);
+        let dst = tables(&[104, 200, 777], &x2);
+        let mut consumed = HashSet::new();
+        let got = pool.import_step(&mut consumed, &dst);
+        assert_eq!(got, vec![vec![lit(101, true), lit(106, false), lit(782, true)]]);
+        assert_eq!(pool.stats().hits, 1);
+        // Consumed: a second import hands out nothing.
+        assert!(pool.import_step(&mut consumed, &dst).is_empty());
+        assert_eq!(pool.stats().hits, 1, "empty imports are not hits");
+    }
+
+    #[test]
+    fn step_export_rejects_out_of_window_vars() {
+        let pool = ClausePool::default();
+        let x = x_lits(10, 4);
+        let src = tables(&[14, 30], &x);
+        // Var 25 is between windows (a guard/selector): not poolable.
+        assert!(pool.export_step(&[vec![lit(14, false), lit(25, false)]], &src).is_empty());
+        // Var 3 is below the X range: not poolable.
+        assert!(pool.export_step(&[vec![lit(3, false)]], &src).is_empty());
+        // Var 36 is past the last window's width: not poolable.
+        assert!(pool.export_step(&[vec![lit(36, true)]], &src).is_empty());
+        assert_eq!(pool.stats().exports, 0);
+    }
+
+    #[test]
+    fn deep_entries_wait_for_a_deep_enough_importer() {
+        let pool = ClausePool::default();
+        let x = x_lits(0, 2);
+        let src = tables(&[2, 10, 20], &x);
+        pool.export_step(&[vec![lit(21, false)]], &src); // frame 2
+        let x2 = x_lits(40, 2);
+        let shallow = tables(&[42], &x2);
+        let mut consumed = HashSet::new();
+        assert!(pool.import_step(&mut consumed, &shallow).is_empty());
+        assert!(consumed.is_empty(), "unfitting entries stay unconsumed");
+        let deep_bases = [42usize, 60, 80];
+        let deep = StepTables { window_bases: &deep_bases, window_width: 6, x_lits: &x2 };
+        assert_eq!(pool.import_step(&mut consumed, &deep), vec![vec![lit(81, false)]]);
+    }
+
+    #[test]
+    fn shift_up_instantiation_lands_in_deeper_frames() {
+        // Learnt over frames {0,1} + X; instantiated at δ=1 by handing the
+        // importer tables whose "frame 0" is physical frame 1 and whose
+        // X substitution is frame 1's state map.
+        let pool = ClausePool::default();
+        let x = x_lits(0, 2);
+        let src = tables(&[2, 10], &x);
+        pool.export_step(&[vec![lit(0, true), lit(11, false)]], &src);
+        // Importer physical layout: frames at 2, 10, 20; frame-1 state
+        // substitution (its "X") happens to be frame 0's outputs at 8,9.
+        let delta_x = vec![lit(8, false), lit(9, false)];
+        let shifted_bases = [10usize, 20];
+        let shifted =
+            StepTables { window_bases: &shifted_bases, window_width: 6, x_lits: &delta_x };
+        let mut consumed = HashSet::new();
+        assert_eq!(
+            pool.import_step(&mut consumed, &shifted),
+            vec![vec![lit(8, true), lit(21, false)]]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let pool = ClausePool::default();
+        let x = x_lits(10, 4);
+        let src = tables(&[14], &x);
+        let c = vec![lit(15, false), lit(11, true)];
+        assert_eq!(pool.export_step(std::slice::from_ref(&c), &src).len(), 1);
+        assert!(pool.export_step(&[c], &src).is_empty());
+        assert_eq!(pool.stats().duplicates, 1);
+        assert_eq!(pool.stats().entries, 1);
+    }
+
+    #[test]
+    fn base_roundtrip_is_tag_guarded() {
+        let pool = ClausePool::default();
+        let tag = BaseTag { num_vars: 100, problem_hash: 0xfeed };
+        pool.export_base(tag, &[vec![lit(3, false), lit(7, true)]]);
+        let mut consumed = HashSet::new();
+        // A consumer that never saw this tag gets nothing…
+        assert!(pool.import_base(&mut consumed, |_| false).is_empty());
+        assert!(consumed.is_empty());
+        // …a consumer whose history contains it replays the clause.
+        let got = pool.import_base(&mut consumed, |t| *t == tag);
+        assert_eq!(got, vec![vec![lit(3, false), lit(7, true)]]);
+        assert!(pool.import_base(&mut consumed, |t| *t == tag).is_empty());
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first() {
+        let pool = ClausePool::new(PoolConfig {
+            max_bytes: 3 * (STEP_ENTRY_OVERHEAD + POOL_LIT_BYTES),
+            ..PoolConfig::default()
+        });
+        let x = x_lits(0, 8);
+        let src = tables(&[8], &x);
+        for i in 0..5 {
+            pool.export_step(&[vec![lit(i, false)]], &src);
+        }
+        let s = pool.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.entries, 3);
+        // The survivors are the three newest.
+        let mut consumed = HashSet::new();
+        let got = pool.import_step(&mut consumed, &src);
+        assert_eq!(got, vec![vec![lit(2, false)], vec![lit(3, false)], vec![lit(4, false)]]);
+        // Evicted hashes were forgotten: the old clause can re-enter.
+        assert_eq!(pool.export_step(&[vec![lit(0, false)]], &src).len(), 1);
+    }
+
+    #[test]
+    fn exporters_skip_their_own_clauses_via_ids() {
+        let pool = ClausePool::default();
+        let x = x_lits(0, 2);
+        let src = tables(&[2], &x);
+        let ids = pool.export_step(&[vec![lit(3, false)]], &src);
+        let mut consumed: HashSet<u64> = ids.into_iter().collect();
+        assert!(pool.import_step(&mut consumed, &src).is_empty());
+    }
+}

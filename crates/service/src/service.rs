@@ -169,6 +169,21 @@ pub struct ServiceStats {
     /// State registers dropped (stuck-at folding plus cone-of-influence
     /// reduction), summed over cold prepares.
     pub opt_states_dropped: u64,
+    /// Queries answered by cube-and-conquer splitting, summed over
+    /// completed jobs.
+    pub cube_splits: u64,
+    /// Learnt clauses replayed from cached clause pools into job
+    /// sessions, summed over completed jobs.
+    pub pool_clauses_imported: u64,
+    /// Learnt clauses job sessions published into cached clause pools,
+    /// summed over completed jobs.
+    pub pool_clauses_exported: u64,
+    /// Pool imports that yielded at least one clause, summed over
+    /// completed jobs.
+    pub pool_hits: u64,
+    /// Clause-pool entries evicted under pool byte budgets, summed over
+    /// completed jobs.
+    pub pool_evictions: u64,
 }
 
 #[derive(Default)]
@@ -185,6 +200,11 @@ struct AtomicStats {
     templates_reused: AtomicU64,
     opt_nodes_removed: AtomicU64,
     opt_states_dropped: AtomicU64,
+    cube_splits: AtomicU64,
+    pool_clauses_imported: AtomicU64,
+    pool_clauses_exported: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_evictions: AtomicU64,
 }
 
 /// A queued unit of work.
@@ -426,6 +446,11 @@ impl VerificationService {
             templates_reused: s.templates_reused.load(Ordering::Relaxed),
             opt_nodes_removed: s.opt_nodes_removed.load(Ordering::Relaxed),
             opt_states_dropped: s.opt_states_dropped.load(Ordering::Relaxed),
+            cube_splits: s.cube_splits.load(Ordering::Relaxed),
+            pool_clauses_imported: s.pool_clauses_imported.load(Ordering::Relaxed),
+            pool_clauses_exported: s.pool_clauses_exported.load(Ordering::Relaxed),
+            pool_hits: s.pool_hits.load(Ordering::Relaxed),
+            pool_evictions: s.pool_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -605,6 +630,17 @@ fn run_job(shared: &Shared, mut job: Job, entry: &CacheEntry, batched: bool, cac
             let solver = &flow_report.metrics.solver;
             shared.stats.clean_seed_hits.fetch_add(solver.clean_seed_hits, Ordering::Relaxed);
             shared.stats.templates_reused.fetch_add(solver.templates_reused, Ordering::Relaxed);
+            shared.stats.cube_splits.fetch_add(solver.cube_splits, Ordering::Relaxed);
+            shared
+                .stats
+                .pool_clauses_imported
+                .fetch_add(solver.pool_clauses_imported, Ordering::Relaxed);
+            shared
+                .stats
+                .pool_clauses_exported
+                .fetch_add(solver.pool_clauses_exported, Ordering::Relaxed);
+            shared.stats.pool_hits.fetch_add(solver.pool_hits, Ordering::Relaxed);
+            shared.stats.pool_evictions.fetch_add(solver.pool_evictions, Ordering::Relaxed);
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             let report = JobReport {
                 job: job.id,

@@ -8,7 +8,9 @@
 # DAG-walk frame encodings, e11 races a warm (session-cached) vs cold
 # verification service on repeat traffic, e12 races OptLevel::Full vs
 # OptLevel::None prepares (exits nonzero on any verdict regression or if
-# the datapath designs stop shrinking). Quick-mode JSON goes to target/ so the
+# the datapath designs stop shrinking), e13 races cold vs clause-pooled
+# sessions with cube-and-conquer armed (exits nonzero on any verdict
+# divergence or zero pool hits). Quick-mode JSON goes to target/ so the
 # committed full-run BENCH_*.json files (5-sample medians) are never
 # clobbered by 2-sample gate numbers.
 set -euo pipefail
@@ -28,3 +30,5 @@ GENFV_BENCH_JSON=target/ci-BENCH_service.json \
     cargo run --release -p genfv-bench --bin e11_service -- --quick
 GENFV_BENCH_JSON=target/ci-BENCH_opt.json \
     cargo run --release -p genfv-bench --bin e12_opt -- --quick
+GENFV_BENCH_JSON=target/ci-BENCH_cube.json \
+    cargo run --release -p genfv-bench --bin e13_cube -- --quick
