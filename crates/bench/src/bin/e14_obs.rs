@@ -1,0 +1,228 @@
+//! **E14 — observability overhead gate**: warm service traffic with
+//! tracing `Off` versus `Full`, plus a schema check on the exported
+//! Chrome trace.
+//!
+//! `genfv-obs` promises that a disabled handle costs one branch per span
+//! and that full tracing stays in the noise. This experiment holds the
+//! stack to that promise on the service's best case — warm repeat
+//! traffic, where per-job fixed costs are smallest and any per-span
+//! overhead is proportionally largest:
+//!
+//! * for each design, a burst of identical jobs runs through a warm
+//!   single-worker service twice per sample — once with
+//!   [`ObsConfig::Off`] and once with [`ObsConfig::Full`] — and the
+//!   **minimum** total over `--samples` rounds is compared (minima gate
+//!   more stably than medians under CI noise; a warmup round is
+//!   discarded first);
+//! * one `Full` job's trace is exported with
+//!   [`genfv_obs::ObsReport::chrome_json`] and re-parsed with
+//!   [`genfv_obs::validate_chrome_trace`]: it must be schema-valid,
+//!   balanced, and deep enough to reach individual `solve.*` calls;
+//! * the service's Prometheus exposition must carry the queue-wait and
+//!   solve-latency histograms.
+//!
+//! **Exit 1** if the aggregate `Full` overhead exceeds 5%, if the trace
+//! fails its schema check, or if the exposition is missing histograms.
+//! Results go to stdout and `BENCH_obs.json` (working directory, or
+//! `$GENFV_BENCH_JSON`).
+//!
+//! Run with `cargo run --release -p genfv-bench --bin e14_obs`.
+
+use genfv_bench::ms;
+use genfv_core::{CorpusMode, Table};
+use genfv_obs::{validate_chrome_trace, Counter, ObsConfig, QueryKind};
+use genfv_service::{
+    DesignInput, JobReport, JobRequest, ServiceConfig, ServiceStats, VerificationService,
+};
+use std::time::{Duration, Instant};
+
+/// Warm-traffic designs: the service bench's capital-dominated family,
+/// where per-job runtime is smallest and relative overhead largest.
+const DESIGNS: &[&str] = &["sync_counters_16", "hamming74", "gray_counter", "ring_counter"];
+
+/// Maximum tolerated (full - off) / off on the aggregate minima.
+const MAX_OVERHEAD: f64 = 0.05;
+
+/// One warm burst: `repeats` identical baseline jobs through a fresh
+/// single-worker service with the given obs mode. Returns the wall time,
+/// the last job's report, and the service stats.
+fn burst(
+    bundle: &genfv_designs::DesignBundle,
+    obs: ObsConfig,
+    repeats: usize,
+) -> (Duration, JobReport, ServiceStats) {
+    let config = ServiceConfig::default()
+        .with_workers(1)
+        .with_queue_capacity(repeats.max(1))
+        .with_mode(CorpusMode::Baseline)
+        .with_obs(obs);
+    let service = VerificationService::new(config);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..repeats)
+        .map(|_| {
+            let request = JobRequest::new(DesignInput::Source {
+                name: bundle.name.to_string(),
+                rtl: bundle.rtl.to_string(),
+                spec: bundle.spec.to_string(),
+                targets: bundle.targets.clone(),
+            })
+            .with_mode(CorpusMode::Baseline);
+            service.submit(request).expect("bench submit")
+        })
+        .collect();
+    let mut last = None;
+    for h in handles {
+        last = Some(h.wait().expect("bench job"));
+    }
+    let elapsed = t0.elapsed();
+    let stats = service.stats();
+    service.shutdown();
+    (elapsed, last.expect("at least one job"), stats)
+}
+
+struct Cell {
+    design: String,
+    off: Duration,
+    full: Duration,
+    events: usize,
+    solves: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick { 3 } else { 7 })
+        .max(1);
+    let repeats = if quick { 3 } else { 6 };
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut trace_checked = false;
+
+    for name in DESIGNS {
+        let bundle = genfv_designs::by_name(name).expect("benchmark design exists");
+        // Warmup round (both modes), discarded: first-touch costs (lazy
+        // statics, allocator growth) land here instead of in a sample.
+        let _ = burst(&bundle, ObsConfig::Off, repeats);
+        let _ = burst(&bundle, ObsConfig::Full, repeats);
+
+        let mut off_min = Duration::MAX;
+        let mut full_min = Duration::MAX;
+        let mut events = 0usize;
+        let mut solves = 0u64;
+        for _ in 0..samples {
+            let (t, _, _) = burst(&bundle, ObsConfig::Off, repeats);
+            off_min = off_min.min(t);
+            let (t, report, stats) = burst(&bundle, ObsConfig::Full, repeats);
+            full_min = full_min.min(t);
+
+            let obs = report.obs.as_ref().expect("Full mode attaches obs reports");
+            events = obs.events.len();
+            solves = obs.metrics.counter(Counter::Solves);
+            if !trace_checked {
+                trace_checked = true;
+                let json = obs.chrome_json();
+                match validate_chrome_trace(&json) {
+                    Ok(check) => {
+                        if !check.balanced {
+                            failures.push(format!("{name}: Chrome trace spans unbalanced"));
+                        }
+                        if check.depth_of_prefix("solve.").is_none() {
+                            failures.push(format!("{name}: trace never reaches a solve.* span"));
+                        }
+                    }
+                    Err(e) => failures.push(format!("{name}: Chrome trace schema: {e}")),
+                }
+                let prom = stats.render_prometheus();
+                for needle in
+                    ["genfv_queue_wait_seconds_bucket", "genfv_solve_latency_seconds_bucket"]
+                {
+                    if !prom.contains(needle) {
+                        failures.push(format!("{name}: Prometheus exposition missing {needle}"));
+                    }
+                }
+                if obs.metrics.latency(QueryKind::Base).count
+                    + obs.metrics.latency(QueryKind::Step).count
+                    == 0
+                {
+                    failures.push(format!("{name}: no per-kind solve latency recorded"));
+                }
+            }
+        }
+        cells.push(Cell { design: name.to_string(), off: off_min, full: full_min, events, solves });
+    }
+
+    let total_off: Duration = cells.iter().map(|c| c.off).sum();
+    let total_full: Duration = cells.iter().map(|c| c.full).sum();
+    let overhead =
+        (total_full.as_secs_f64() - total_off.as_secs_f64()) / total_off.as_secs_f64().max(1e-9);
+
+    let mut table =
+        Table::new(["design", "off (min)", "full (min)", "overhead", "events", "solves"]);
+    let mut json_rows = Vec::new();
+    for c in &cells {
+        let cell_overhead =
+            (c.full.as_secs_f64() - c.off.as_secs_f64()) / c.off.as_secs_f64().max(1e-9);
+        table.row([
+            c.design.clone(),
+            ms(c.off),
+            ms(c.full),
+            format!("{:+.1}%", cell_overhead * 100.0),
+            c.events.to_string(),
+            c.solves.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"design\": \"{}\", \"off_ms\": {:.3}, \"full_ms\": {:.3}, \
+             \"overhead\": {cell_overhead:.4}, \"trace_events\": {}, \"solves\": {}}}",
+            c.design,
+            c.off.as_secs_f64() * 1e3,
+            c.full.as_secs_f64() * 1e3,
+            c.events,
+            c.solves,
+        ));
+    }
+
+    println!("E14: observability — warm service traffic, tracing Off vs Full\n");
+    println!("{}", table.render());
+    println!(
+        "\naggregate: off {} vs full {} → {:+.2}% overhead (gate ≤ {:.0}%, minima over \
+         {samples} samples of {repeats}-job bursts)",
+        ms(total_off),
+        ms(total_full),
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e14_obs\",\n  \"samples\": {samples},\n  \
+         \"repeats\": {repeats},\n  \"total_off_ms\": {:.3},\n  \"total_full_ms\": {:.3},\n  \
+         \"overhead\": {overhead:.4},\n  \"max_overhead\": {MAX_OVERHEAD},\n  \
+         \"trace_schema_ok\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        total_off.as_secs_f64() * 1e3,
+        total_full.as_secs_f64() * 1e3,
+        failures.is_empty(),
+        json_rows.join(",\n")
+    );
+    let path = std::env::var("GENFV_BENCH_JSON").unwrap_or_else(|_| "BENCH_obs.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+
+    if overhead > MAX_OVERHEAD {
+        failures.push(format!(
+            "Full-tracing overhead {:.2}% exceeds the {:.0}% gate",
+            overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

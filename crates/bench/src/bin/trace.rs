@@ -1,0 +1,85 @@
+//! Trace one design/flow run and export it: Chrome `trace_event` JSON
+//! (loadable in Perfetto / `chrome://tracing`) to a file, human-readable
+//! span tree to stdout.
+//!
+//! ```text
+//! cargo run --release -p genfv-bench --bin trace -- \
+//!     [design] [--flow baseline|flow1|flow2|combined] \
+//!     [--deterministic] [--out trace.json] [--list]
+//! ```
+//!
+//! With no arguments the first corpus design runs the baseline flow and
+//! the trace lands in `trace.json`. `--deterministic` swaps the
+//! wall-clock for the logical tick clock (spans keep their shape, wall
+//! times disappear — the mode the differential suites pin). See also
+//! `scripts/trace.sh`.
+
+use genfv_core::{run_baseline, run_combined, run_flow1, run_flow2, FlowConfig};
+use genfv_genai::{ModelProfile, SyntheticLlm};
+use genfv_obs::{Obs, ObsConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for bundle in genfv_designs::all_designs() {
+            println!("{}", bundle.name);
+        }
+        return;
+    }
+    let flag = |name: &str| args.iter().position(|a| a == name);
+    let flow = flag("--flow")
+        .and_then(|p| args.get(p + 1))
+        .map(String::as_str)
+        .unwrap_or("baseline")
+        .to_string();
+    let out = flag("--out")
+        .and_then(|p| args.get(p + 1))
+        .map(String::as_str)
+        .unwrap_or("trace.json")
+        .to_string();
+    let deterministic = args.iter().any(|a| a == "--deterministic");
+    let design_name = args
+        .iter()
+        .position(|a| !a.starts_with("--"))
+        .filter(|&p| p == 0 || !args[p - 1].starts_with("--") || args[p - 1] == "--deterministic")
+        .map(|p| args[p].clone());
+
+    let bundle = match &design_name {
+        Some(name) => genfv_designs::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown design `{name}` — try --list");
+            std::process::exit(2);
+        }),
+        None => genfv_designs::all_designs().into_iter().next().expect("corpus is non-empty"),
+    };
+    let design = bundle.prepare().expect("corpus design prepares");
+
+    let mode = if deterministic { ObsConfig::Deterministic } else { ObsConfig::Full };
+    let obs = Obs::new(mode);
+    let config = FlowConfig::default().with_obs(obs.clone());
+    let mut llm = SyntheticLlm::new(ModelProfile::GptFourTurbo, 42);
+    let report = match flow.as_str() {
+        "baseline" => run_baseline(&design, &config),
+        "flow1" => run_flow1(design.clone(), &mut llm, &config),
+        "flow2" => run_flow2(design.clone(), &mut llm, &config),
+        "combined" => run_combined(design.clone(), &mut llm, &config),
+        other => {
+            eprintln!("unknown flow `{other}` (baseline|flow1|flow2|combined)");
+            std::process::exit(2);
+        }
+    };
+
+    let obs_report = obs.report().expect("enabled handle yields a report");
+    std::fs::write(&out, obs_report.chrome_json()).expect("write trace json");
+
+    println!(
+        "{} / {} — {} targets, {} spans ({} events, {} dropped)\n",
+        design.name,
+        flow,
+        report.targets.len(),
+        obs_report.events.len() / 2,
+        obs_report.events.len(),
+        obs_report.dropped
+    );
+    print!("{}", obs_report.render_tree());
+    println!("\nwrote {out} — open in https://ui.perfetto.dev or chrome://tracing");
+}

@@ -7,8 +7,9 @@
 //! [`OptLevel::None`](genfv_ir::OptLevel::None) as the escape hatch.
 
 use crate::error::Error;
-use genfv_ir::{optimize, Context, ExprRef, OptConfig, OptStats, TransitionSystem};
+use genfv_ir::{optimize_with, Context, ExprRef, OptConfig, OptStats, TransitionSystem};
 use genfv_mc::Property;
+use genfv_obs::Obs;
 use genfv_sva::PropertyCompiler;
 
 /// A target property to prove.
@@ -75,7 +76,25 @@ impl PreparedDesign {
         targets: &[(String, String)],
         opt: &OptConfig,
     ) -> Result<Self, Error> {
+        Self::with_opt_obs(name, rtl, spec, targets, opt, &Obs::off())
+    }
+
+    /// Like [`PreparedDesign::with_opt`] but recording a `prepare` span
+    /// (with nested per-pass `opt.*` spans) into the given observability
+    /// handle. The disabled handle makes this identical to `with_opt`.
+    ///
+    /// # Errors
+    /// Same as [`PreparedDesign::new`].
+    pub fn with_opt_obs(
+        name: impl Into<String>,
+        rtl: impl Into<String>,
+        spec: impl Into<String>,
+        targets: &[(String, String)],
+        opt: &OptConfig,
+        obs: &Obs,
+    ) -> Result<Self, Error> {
         let name = name.into();
+        let _span = obs.span_with("prepare", || name.clone());
         let rtl = rtl.into();
         let spec = spec.into();
         let modules = genfv_hdl::parse_source(&rtl)
@@ -112,7 +131,7 @@ impl PreparedDesign {
         // the pipeline keeps (and rewrites) the property cones, then
         // re-anchor each target on its rewritten root.
         let mut roots: Vec<ExprRef> = compiled.iter().map(|t| t.prop.ok).collect();
-        let opt_stats = optimize(&mut ctx, &mut ts, &mut roots, opt);
+        let opt_stats = optimize_with(&mut ctx, &mut ts, &mut roots, opt, obs);
         for (target, root) in compiled.iter_mut().zip(roots) {
             target.prop.ok = root;
         }

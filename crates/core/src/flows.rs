@@ -19,6 +19,7 @@ use genfv_mc::{
     prove_rebuild, render_waveform, CheckConfig, EngineMode, PoolScope, PortfolioConfig,
     ProofSession, ProveResult, SessionStats, Trace, UnrollMode,
 };
+use genfv_obs::{Accumulate, Obs};
 use genfv_sva::parse_assertions;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -226,6 +227,22 @@ impl FlowConfig {
     pub fn with_opt(mut self, opt: OptConfig) -> Self {
         self.opt = opt;
         self
+    }
+
+    /// This configuration recording every check — candidate validation,
+    /// Houdini, and target proofs — into the given observability handle:
+    /// `flow.*` spans down to individual `solve.*` calls, plus per-query-
+    /// kind metrics (see `genfv-obs`). The default disabled handle costs
+    /// one branch per span.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.validate.check.obs = obs.clone();
+        self.check.obs = obs;
+        self
+    }
+
+    /// The observability handle this flow records into.
+    pub fn obs(&self) -> &Obs {
+        &self.check.obs
     }
 
     /// The frame-encoding mode of this flow's session unrollers.
@@ -502,6 +519,7 @@ pub fn run_flow1(
     config: &FlowConfig,
 ) -> FlowReport {
     let config = &llm_scoped(config);
+    let _span = config.obs().span_with("flow.flow1", || design.name.clone());
     let start = Instant::now();
     let mut metrics = FlowMetrics::default();
     let mut events = Vec::new();
@@ -587,6 +605,7 @@ pub fn run_flow2(
     config: &FlowConfig,
 ) -> FlowReport {
     let config = &llm_scoped(config);
+    let _span = config.obs().span_with("flow.flow2", || design.name.clone());
     let start = Instant::now();
     let mut metrics = FlowMetrics::default();
     let mut events = Vec::new();
@@ -623,6 +642,7 @@ pub fn run_flow2(
 /// Baseline: plain k-induction with no GenAI assistance (for the
 /// with/without comparisons of experiment E4).
 pub fn run_baseline(design: &PreparedDesign, config: &FlowConfig) -> FlowReport {
+    let _span = config.obs().span_with("flow.baseline", || design.name.clone());
     let start = Instant::now();
     let mut metrics = FlowMetrics::default();
     let mut events = Vec::new();
@@ -677,6 +697,7 @@ pub fn run_combined(
     config: &FlowConfig,
 ) -> FlowReport {
     let config = &llm_scoped(config);
+    let _span = config.obs().span_with("flow.combined", || design.name.clone());
     let start = Instant::now();
     let mut metrics = FlowMetrics::default();
     let mut events = Vec::new();

@@ -39,7 +39,7 @@ use crate::design::PreparedDesign;
 use crate::validate::{Candidate, ValidateConfig, ValidationOutcome};
 use genfv_ir::ExprRef;
 use genfv_mc::{
-    bmc_rebuild, BmcResult, EngineMode, ProofSession, Property, SessionStats, Unroller,
+    bmc_rebuild, Accumulate, BmcResult, EngineMode, ProofSession, Property, SessionStats, Unroller,
 };
 use genfv_sat::SolveResult;
 use genfv_sva::PropertyCompiler;

@@ -100,6 +100,7 @@ pub use flows::{
     TargetOutcome, TargetReport,
 };
 pub use genfv_ir::{OptConfig, OptLevel, OptStats};
+pub use genfv_obs::{Accumulate, Obs, ObsConfig, ObsReport};
 pub use houdini::{houdini, validate_batch, HoudiniResult};
 pub use parallel::validate_parallel;
 pub use report::{render_events, render_report, summarize_targets, Table};

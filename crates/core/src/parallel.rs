@@ -25,7 +25,7 @@ use crate::validate::{
     ValidationOutcome,
 };
 use genfv_ir::ExprRef;
-use genfv_mc::{EngineMode, ProofSession, Property, SessionStats};
+use genfv_mc::{Accumulate, EngineMode, ProofSession, Property, SessionStats};
 use genfv_sva::PropertyCompiler;
 
 /// Validates candidates concurrently; results are index-aligned with the

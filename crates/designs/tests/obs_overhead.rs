@@ -1,0 +1,49 @@
+//! Overhead guard: a disabled [`Obs`](genfv_obs::Obs) handle must be
+//! free — no trace event is ever recorded, so no per-event allocation can
+//! occur, and the whole corpus sweep stays within an easily-met
+//! wall-clock envelope.
+//!
+//! This file deliberately holds **only** non-recording tests: the
+//! zero-event assertion reads the process-global
+//! [`events_recorded_total`] counter, and integration-test binaries are
+//! separate processes, so nothing else can race it here. (The strict
+//! Off-vs-Full ≤ 5% wall-clock gate lives in the `e14_obs` bench, where
+//! warmup and repeated sampling make timing meaningful; a unit-test
+//! environment is too noisy for a tight ratio.)
+
+use genfv_core::{run_baseline, FlowConfig};
+use genfv_mc::CheckConfig;
+use genfv_obs::events_recorded_total;
+use std::time::Instant;
+
+#[test]
+fn disabled_obs_corpus_sweep_records_zero_events() {
+    let before = events_recorded_total();
+    let start = Instant::now();
+    let mut targets = 0;
+    for bundle in genfv_designs::all_designs() {
+        let design = bundle.prepare().expect("corpus designs prepare");
+        // The default FlowConfig carries the disabled handle — exactly
+        // what every pre-obs caller gets.
+        let config = FlowConfig {
+            check: CheckConfig { max_k: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let report = run_baseline(&design, &config);
+        targets += report.targets.len();
+        assert!(config.obs().report().is_none(), "disabled handle must have no report");
+        assert_eq!(config.obs().now_us(), 0, "disabled clock reads zero");
+    }
+    assert!(targets > 0, "corpus sweep proved nothing");
+    assert_eq!(
+        events_recorded_total() - before,
+        0,
+        "disabled-obs corpus sweep recorded trace events"
+    );
+    // Generous smoke bound: the instrumented-but-off corpus sweep has to
+    // stay in the same order of magnitude as the seed (which runs this
+    // sweep in a few seconds even in debug CI). A hung or pathologically
+    // slowed span path would blow far past this.
+    let elapsed = start.elapsed();
+    assert!(elapsed.as_secs() < 120, "off-mode corpus sweep took {elapsed:?}");
+}

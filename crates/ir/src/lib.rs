@@ -54,7 +54,9 @@ pub use bitblast::{BitBlaster, LitEnv};
 pub use encode::GateEncoder;
 pub use eval::{evaluate, Env, Simulator};
 pub use expr::{BinaryOp, Context, Expr, ExprRef, UnaryOp};
-pub use opt::{optimize, OptConfig, OptLevel, OptPass, OptStats, PassCount, PassManager};
+pub use opt::{
+    optimize, optimize_with, OptConfig, OptLevel, OptPass, OptStats, PassCount, PassManager,
+};
 pub use template::{FrameStamp, TRef, Template, TemplateStats};
 pub use ts::{State, TransitionSystem};
 pub use value::BitVecValue;

@@ -138,6 +138,31 @@ pub struct OptStats {
     pub per_pass: Vec<PassCount>,
 }
 
+impl genfv_obs::Accumulate for OptStats {
+    /// Fold another design's (or round's) pipeline stats into totals:
+    /// counts sum, per-pass applications merge by pass name, and the
+    /// level follows the most recent stats that actually saw an arena.
+    fn absorb(&mut self, other: &Self) {
+        if other.nodes_before > 0 {
+            self.level = other.level;
+        }
+        self.rounds += other.rounds;
+        self.nodes_before += other.nodes_before;
+        self.nodes_after += other.nodes_after;
+        self.rewrites += other.rewrites;
+        self.chains_rebalanced += other.chains_rebalanced;
+        self.stuck_states += other.stuck_states;
+        self.coi_dropped_states += other.coi_dropped_states;
+        self.constraints_dropped += other.constraints_dropped;
+        for pc in &other.per_pass {
+            match self.per_pass.iter_mut().find(|mine| mine.pass == pc.pass) {
+                Some(mine) => mine.applications += pc.applications,
+                None => self.per_pass.push(pc.clone()),
+            }
+        }
+    }
+}
+
 impl OptStats {
     /// Nodes eliminated end to end (saturating; the pipeline never grows
     /// the reachable arena).
@@ -176,6 +201,19 @@ pub trait OptPass {
     fn name(&self) -> &'static str;
     /// Runs the pass, returning the number of applications.
     fn run(&mut self, ctx: &mut Context, ts: &mut TransitionSystem, roots: &mut [ExprRef]) -> u64;
+    /// Span name recorded per application when the pipeline runs under
+    /// an enabled observability handle (static because spans carry
+    /// `&'static str` names; custom passes fall back to `opt.pass`).
+    fn span_name(&self) -> &'static str {
+        match self.name() {
+            "rewrite" => "opt.rewrite",
+            "stuck" => "opt.stuck",
+            "rebalance" => "opt.rebalance",
+            "coi" => "opt.coi",
+            "sweep" => "opt.sweep",
+            _ => "opt.pass",
+        }
+    }
 }
 
 /// Runs a pass pipeline to a fixpoint with per-pass statistics.
@@ -230,6 +268,19 @@ impl PassManager {
         ts: &mut TransitionSystem,
         roots: &mut Vec<ExprRef>,
     ) -> OptStats {
+        self.run_with(ctx, ts, roots, &genfv_obs::Obs::off())
+    }
+
+    /// [`PassManager::run`] with observability: each pass application
+    /// records an `opt.<pass>` span under the caller's open span, so a
+    /// trace shows exactly where prepare time went.
+    pub fn run_with(
+        &mut self,
+        ctx: &mut Context,
+        ts: &mut TransitionSystem,
+        roots: &mut Vec<ExprRef>,
+        obs: &genfv_obs::Obs,
+    ) -> OptStats {
         let mut stats = OptStats { nodes_before: ctx.num_nodes(), ..OptStats::default() };
         let constraints_before = ts.constraints().len();
         let mut per: Vec<PassCount> = self
@@ -240,7 +291,9 @@ impl PassManager {
         for _ in 0..self.max_rounds {
             let mut semantic_fires = 0u64;
             for (i, pass) in self.passes.iter_mut().enumerate() {
+                let span = obs.span(pass.span_name());
                 let n = pass.run(ctx, ts, roots.as_mut_slice());
+                span.end();
                 per[i].applications += n;
                 if pass.name() != "sweep" {
                     semantic_fires += n;
@@ -277,6 +330,18 @@ pub fn optimize(
     roots: &mut Vec<ExprRef>,
     config: &OptConfig,
 ) -> OptStats {
+    optimize_with(ctx, ts, roots, config, &genfv_obs::Obs::off())
+}
+
+/// [`optimize`] with observability: the whole pipeline runs under an
+/// `opt` span and each pass application records an `opt.<pass>` child.
+pub fn optimize_with(
+    ctx: &mut Context,
+    ts: &mut TransitionSystem,
+    roots: &mut Vec<ExprRef>,
+    config: &OptConfig,
+    obs: &genfv_obs::Obs,
+) -> OptStats {
     if config.level == OptLevel::None {
         let n = ctx.num_nodes();
         return OptStats {
@@ -286,8 +351,9 @@ pub fn optimize(
             ..OptStats::default()
         };
     }
+    let _span = obs.span("opt");
     let mut pm = PassManager::for_level(config.level, config.max_rounds);
-    let mut stats = pm.run(ctx, ts, roots);
+    let mut stats = pm.run_with(ctx, ts, roots, obs);
     stats.level = config.level;
     stats
 }

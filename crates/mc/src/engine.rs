@@ -163,6 +163,11 @@ pub struct CheckConfig {
     /// [`PoolScope::Full`] by default; inert without a matching
     /// [`CheckConfig::seed`].
     pub clause_pool: PoolScope,
+    /// Observability handle threaded into every session solver this
+    /// config creates: spans (`prove`, `session.extend.*`, `solve.*`)
+    /// and per-query-kind metrics are recorded into it. The default
+    /// [`genfv_obs::Obs::off`] handle costs one branch per span.
+    pub obs: genfv_obs::Obs,
 }
 
 /// Scope of a session's clause-pool participation
@@ -199,6 +204,7 @@ impl Default for CheckConfig {
             unroll_mode: crate::unroll::UnrollMode::default(),
             seed: None,
             clause_pool: PoolScope::default(),
+            obs: genfv_obs::Obs::off(),
         }
     }
 }

@@ -70,6 +70,7 @@ pub mod wave;
 pub use engine::{
     bmc, BmcResult, CheckConfig, CheckStats, KInduction, PoolScope, Property, ProveResult,
 };
+pub use genfv_obs::{Accumulate, Obs, ObsConfig};
 pub use genfv_portfolio::{Portfolio, PortfolioConfig, RaceOutcome, WorkerStats};
 pub use rebuild::{bmc_rebuild, prove_all_rebuild, prove_rebuild, EngineMode};
 pub use session::{ProofSession, SessionSeed, SessionStats};

@@ -57,7 +57,10 @@ use crate::engine::{BmcResult, CheckConfig, CheckStats, Property, ProveResult};
 use crate::trace::{read_symbol_cycles, Trace, TraceKind};
 use crate::unroll::{UnrollMode, Unroller};
 use genfv_ir::{Context, ExprRef, Template, TransitionSystem};
-use genfv_sat::{ActivationGroup, BaseTag, ClausePool, Lit, PoolConfig, SolveResult, StepTables};
+use genfv_obs::QueryKind;
+use genfv_sat::{
+    ActivationGroup, BaseTag, ClausePool, Lit, PoolConfig, QueryEffort, SolveResult, StepTables,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -331,39 +334,34 @@ pub struct SessionStats {
     pub pool_evictions: u64,
 }
 
-impl SessionStats {
-    /// Folds another session's counters into this one (used when several
-    /// sessions serve one logical run, e.g. parallel worker shards or
-    /// lemma-installation rebuilds in the flows).
-    pub fn absorb(&mut self, other: &SessionStats) {
-        self.bitblasts += other.bitblasts;
-        self.solver_calls += other.solver_calls;
-        self.rebuilds_avoided += other.rebuilds_avoided;
-        self.clauses_retained = self.clauses_retained.max(other.clauses_retained);
-        self.max_frame = self.max_frame.max(other.max_frame);
-        self.selectors_created += other.selectors_created;
-        self.selectors_retired += other.selectors_retired;
-        if other.solver_calls > 0 {
-            // Only a session that actually queried has a meaningful
-            // "most recent query"; don't clobber with zeros.
-            self.last_query_conflicts = other.last_query_conflicts;
-            self.last_core_size = other.last_core_size;
-        }
-        self.conflicts += other.conflicts;
-        self.decisions += other.decisions;
-        self.propagations += other.propagations;
-        self.portfolio_races += other.portfolio_races;
-        self.portfolio_glue_shared += other.portfolio_glue_shared;
-        self.clean_seed_hits += other.clean_seed_hits;
-        self.templates_reused += other.templates_reused;
-        self.cube_splits += other.cube_splits;
-        self.cubes_raced += other.cubes_raced;
-        self.pool_clauses_imported += other.pool_clauses_imported;
-        self.pool_clauses_exported += other.pool_clauses_exported;
-        self.pool_hits += other.pool_hits;
-        self.pool_evictions += other.pool_evictions;
-    }
-}
+// Folding another session's counters into this one (used when several
+// sessions serve one logical run, e.g. parallel worker shards or
+// lemma-installation rebuilds in the flows). `last_*` fields only follow a
+// session that actually queried — don't clobber with zeros.
+genfv_obs::impl_accumulate!(SessionStats {
+    add: [
+        bitblasts,
+        solver_calls,
+        rebuilds_avoided,
+        selectors_created,
+        selectors_retired,
+        conflicts,
+        decisions,
+        propagations,
+        portfolio_races,
+        portfolio_glue_shared,
+        clean_seed_hits,
+        templates_reused,
+        cube_splits,
+        cubes_raced,
+        pool_clauses_imported,
+        pool_clauses_exported,
+        pool_hits,
+        pool_evictions,
+    ],
+    max: [clauses_retained, max_frame],
+    last_if solver_calls: [last_query_conflicts, last_core_size],
+});
 
 /// The two persistent proof directions of a session.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -428,11 +426,11 @@ pub struct ProofSession<'c> {
     /// Selector allocator/bookkeeper for the step solver (hypotheses,
     /// violation witnesses); lives in `genfv-sat`.
     selectors: ActivationGroup,
-    /// Solver effort of the most recent query: `(conflicts, decisions,
-    /// propagations)`. In portfolio mode this is the winning worker's
-    /// race-wide effort (probe and every epoch included), which the
-    /// winner solver's own `last_*` counters undercount.
-    last_effort: (u64, u64, u64),
+    /// Solver effort of the most recent query. In portfolio mode this is
+    /// the winning worker's race-wide effort (probe and every epoch
+    /// included), which the winner solver's own `last_*` counters
+    /// undercount.
+    last_effort: QueryEffort,
     stats: SessionStats,
 }
 
@@ -449,8 +447,8 @@ impl<'c> ProofSession<'c> {
         // post-lemma-install designs silently run unseeded.
         let seed = config.seed.as_ref().filter(|s| s.matches(ctx, ts)).map(Arc::clone);
         let mut stats = SessionStats { bitblasts: 1, ..Default::default() };
-        let base = Unroller::new_guarded(ctx, ts, true);
-        let step = match config.unroll_mode {
+        let mut base = Unroller::new_guarded(ctx, ts, true);
+        let mut step = match config.unroll_mode {
             UnrollMode::Template => {
                 let tpl = match &seed {
                     Some(s) => {
@@ -467,6 +465,13 @@ impl<'c> ProofSession<'c> {
             }
             UnrollMode::DagWalk => Unroller::new_guarded(ctx, ts, false),
         };
+        // Thread the observability handle into both persistent solvers so
+        // every query records a `solve.<kind>` span and per-kind metrics
+        // (portfolio worker clones inherit the handle).
+        base.blaster_mut().solver_mut().set_obs(config.obs.clone());
+        base.blaster_mut().solver_mut().set_query_kind(QueryKind::Base);
+        step.blaster_mut().solver_mut().set_obs(config.obs.clone());
+        step.blaster_mut().solver_mut().set_query_kind(QueryKind::Step);
         let seeded_clean = seed.as_ref().map(|s| s.clean_snapshot()).unwrap_or_default();
         ProofSession {
             ctx,
@@ -486,7 +491,7 @@ impl<'c> ProofSession<'c> {
             sp_guard: None,
             sp_frames: 0,
             selectors: ActivationGroup::new(),
-            last_effort: (0, 0, 0),
+            last_effort: QueryEffort::default(),
             stats,
         }
     }
@@ -541,6 +546,14 @@ impl<'c> ProofSession<'c> {
 
     /// Ensures frames `0..=upto` exist in `dir`, with lemmas activated.
     fn ensure_frames_dir(&mut self, dir: Dir, upto: usize) {
+        let have = self.un(dir).frames().len();
+        let _span = (upto >= have).then(|| {
+            let name = match dir {
+                Dir::Base => "session.extend.base",
+                Dir::Step => "session.extend.step",
+            };
+            self.config.obs.span_with(name, || format!("frames={have}..={upto}"))
+        });
         self.un(dir).ensure_frame(upto);
         loop {
             let done = match dir {
@@ -742,8 +755,11 @@ impl<'c> ProofSession<'c> {
                     self.stats.cube_splits += 1;
                     self.stats.cubes_raced += out.cubes_raced as u64;
                 }
-                self.last_effort =
-                    (out.winner.conflicts, out.winner.decisions, out.winner.propagations);
+                self.last_effort = QueryEffort {
+                    conflicts: out.winner.conflicts,
+                    decisions: out.winner.decisions,
+                    propagations: out.winner.propagations,
+                };
                 out.result
             }
             None => {
@@ -751,8 +767,7 @@ impl<'c> ProofSession<'c> {
                     self.un(dir).blaster_mut().solver_mut().set_conflict_budget(b);
                 }
                 let result = self.un(dir).blaster_mut().solve_with_assumptions(&assumptions);
-                let s = self.un(dir).blaster().solver().stats();
-                self.last_effort = (s.last_conflicts, s.last_decisions, s.last_propagations);
+                self.last_effort = self.un(dir).blaster().solver().stats().last_effort();
                 result
             }
         };
@@ -775,10 +790,10 @@ impl<'c> ProofSession<'c> {
             self.stats.rebuilds_avoided += 1;
         }
         self.stats.clauses_retained = clauses as u64;
-        self.stats.last_query_conflicts = last.0;
-        self.stats.conflicts += last.0;
-        self.stats.decisions += last.1;
-        self.stats.propagations += last.2;
+        self.stats.last_query_conflicts = last.conflicts;
+        self.stats.conflicts += last.conflicts;
+        self.stats.decisions += last.decisions;
+        self.stats.propagations += last.propagations;
         if result.is_unsat() {
             self.stats.last_core_size = core;
         }
@@ -816,10 +831,10 @@ impl<'c> ProofSession<'c> {
     }
 
     fn drain_check_stats(&mut self, _dir: Dir, stats: &mut CheckStats) {
-        let (conflicts, decisions, propagations) = self.last_effort;
-        stats.conflicts += conflicts;
-        stats.decisions += decisions;
-        stats.propagations += propagations;
+        let e = self.last_effort;
+        stats.conflicts += e.conflicts;
+        stats.decisions += e.decisions;
+        stats.propagations += e.propagations;
         stats.solver_calls += 1;
     }
 
@@ -827,6 +842,7 @@ impl<'c> ProofSession<'c> {
     /// to `depth` cycles from reset. Frames and learnt clauses persist
     /// into later checks on this session.
     pub fn bmc_check(&mut self, property: &Property, depth: usize) -> BmcResult {
+        let _span = self.config.obs.span_with("bmc", || format!("{} depth={depth}", property.name));
         let start = Instant::now();
         let mut stats = CheckStats::default();
         let skip = self.clean_upto.get(&property.ok).copied();
@@ -943,6 +959,7 @@ impl<'c> ProofSession<'c> {
     /// at frame `k`; the base case runs on the pinned-reset unrolling.
     /// Matches [`crate::engine::KInduction::prove`] answer-for-answer.
     pub fn prove(&mut self, property: &Property) -> ProveResult {
+        let _span = self.config.obs.span_with("prove", || property.name.clone());
         let start = Instant::now();
         let mut stats = CheckStats::default();
         let mut last_step_cex: Option<(usize, Trace)> = None;

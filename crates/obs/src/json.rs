@@ -1,0 +1,383 @@
+//! A minimal JSON reader/writer used to validate exported Chrome
+//! traces without external dependencies (the build environment is
+//! offline; there is no serde). Complete enough for RFC 8259 documents
+//! produced by this crate and by hand-written bench harnesses.
+
+use std::str::Chars;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array contents, if this is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Append `s` to `out` with JSON string escaping applied.
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Chars<'a>,
+    peeked: Option<char>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { chars: src.chars(), peeked: None }
+    }
+
+    fn next_ch(&mut self) -> Option<char> {
+        self.peeked.take().or_else(|| self.chars.next())
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.next_ch();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.next_ch() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!("expected {c:?}, got {got:?}")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            got => Err(format!("unexpected {got:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for expected in word.chars() {
+            match self.next_ch() {
+                Some(got) if got == expected => {}
+                got => return Err(format!("bad literal: expected {expected:?}, got {got:?}")),
+            }
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+                text.push(c);
+                self.next_ch();
+            } else {
+                break;
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_ch() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next_ch() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .next_ch()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    got => return Err(format!("bad escape {got:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.next_ch();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.next_ch() {
+                Some(',') => {}
+                Some(']') => return Ok(Json::Arr(items)),
+                got => return Err(format!("expected , or ] in array, got {got:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.next_ch();
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.next_ch() {
+                Some(',') => {}
+                Some('}') => return Ok(Json::Obj(fields)),
+                got => return Err(format!("expected , or }} in object, got {got:?}")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document (trailing whitespace allowed, trailing garbage
+/// rejected).
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(src);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if let Some(got) = parser.peek() {
+        return Err(format!("trailing garbage {got:?}"));
+    }
+    Ok(value)
+}
+
+/// Schema-check result for an exported Chrome trace; see
+/// [`validate_chrome_trace`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChromeCheck {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Maximum Begin-event nesting depth across all threads (a lone
+    /// top-level span has depth 1).
+    pub max_depth: usize,
+    /// Whether every `B` had a matching same-name `E` on its thread.
+    pub balanced: bool,
+    /// Deepest nesting observed per span name.
+    pub name_depths: Vec<(String, usize)>,
+}
+
+impl ChromeCheck {
+    /// Deepest nesting depth of any span whose name starts with
+    /// `prefix` (e.g. `"solve."` → the solve-call depth).
+    pub fn depth_of_prefix(&self, prefix: &str) -> Option<usize> {
+        self.name_depths.iter().filter(|(name, _)| name.starts_with(prefix)).map(|&(_, d)| d).max()
+    }
+}
+
+/// Validate a Chrome `trace_event` JSON document against the subset of
+/// the schema this crate emits: an object with a `traceEvents` array
+/// whose entries carry a string `name`, a `ph` in `{B, E, i, X, M}`,
+/// and numeric `ts` / `pid` / `tid`; per-thread `B`/`E` events must
+/// match by name. Returns structural statistics on success.
+pub fn validate_chrome_trace(src: &str) -> Result<ChromeCheck, String> {
+    let doc = parse_json(src)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents must be an array")?;
+    let mut check = ChromeCheck { balanced: true, events: events.len(), ..Default::default() };
+    // Per-tid stacks of open span names.
+    let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string name"))?
+            .to_string();
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string ph"))?;
+        if !matches!(ph, "B" | "E" | "i" | "X" | "M") {
+            return Err(format!("event {i}: unsupported ph {ph:?}"));
+        }
+        let ts = ev.get("ts").and_then(Json::as_num).ok_or(format!("event {i}: missing ts"))?;
+        ev.get("pid").and_then(Json::as_num).ok_or(format!("event {i}: missing pid"))?;
+        let tid =
+            ev.get("tid").and_then(Json::as_num).ok_or(format!("event {i}: missing tid"))? as u64;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts"));
+        }
+        if ts < last_ts {
+            return Err(format!("event {i}: timestamps must be nondecreasing"));
+        }
+        last_ts = ts;
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((tid, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        match ph {
+            "B" => {
+                stack.push(name.clone());
+                let depth = stack.len();
+                check.max_depth = check.max_depth.max(depth);
+                match check.name_depths.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, d)) => *d = (*d).max(depth),
+                    None => check.name_depths.push((name, depth)),
+                }
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                _ => check.balanced = false,
+            },
+            _ => {}
+        }
+    }
+    if stacks.iter().any(|(_, s)| !s.is_empty()) {
+        check.balanced = false;
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_round_trip_documents() {
+        let doc = parse_json(
+            r#"{"a": [1, 2.5, -3e2], "b": {"nested": true}, "s": "q\"\\\nA", "n": null}"#,
+        )
+        .expect("valid json");
+        assert_eq!(doc.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("q\"\\\nA"));
+        assert_eq!(doc.get("b").and_then(|b| b.get("nested")), Some(&Json::Bool(true)));
+        assert!(parse_json("{\"a\": 1,}").is_err(), "trailing comma rejected");
+        assert!(parse_json("[1] x").is_err(), "trailing garbage rejected");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("{}").is_err(), "missing traceEvents");
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"ph":"B","ts":0,"pid":1,"tid":0}]}"#)
+                .is_err(),
+            "missing name"
+        );
+        assert!(
+            validate_chrome_trace(
+                r#"{"traceEvents":[{"name":"a","ph":"Z","ts":0,"pid":1,"tid":0}]}"#
+            )
+            .is_err(),
+            "bad phase"
+        );
+        let unbalanced = validate_chrome_trace(
+            r#"{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":0}]}"#,
+        )
+        .expect("schema-valid");
+        assert!(!unbalanced.balanced);
+    }
+
+    #[test]
+    fn validator_tracks_depth() {
+        let check = validate_chrome_trace(
+            r#"{"traceEvents":[
+                {"name":"job","ph":"B","ts":0,"pid":1,"tid":0},
+                {"name":"solve.step","ph":"B","ts":1,"pid":1,"tid":0},
+                {"name":"solve.step","ph":"E","ts":2,"pid":1,"tid":0},
+                {"name":"job","ph":"E","ts":3,"pid":1,"tid":0}
+            ]}"#,
+        )
+        .expect("valid");
+        assert_eq!(check.events, 4);
+        assert_eq!(check.max_depth, 2);
+        assert!(check.balanced);
+        assert_eq!(check.depth_of_prefix("solve."), Some(2));
+        assert_eq!(check.depth_of_prefix("opt."), None);
+    }
+}

@@ -1,6 +1,7 @@
 //! The portfolio scheduler: probe, clone, race, share, swap back.
 
-use genfv_sat::{Lit, RestartPolicy, SolveResult, Solver, SolverConfig};
+use genfv_obs::{Counter, Obs, QueryKind};
+use genfv_sat::{Lit, QueryEffort, RestartPolicy, SolveResult, Solver, SolverConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -154,25 +155,17 @@ pub struct RaceOutcome {
     pub cubes_raced: usize,
 }
 
-#[derive(Clone, Copy)]
-struct Baseline {
-    conflicts: u64,
-    decisions: u64,
-    propagations: u64,
+fn baseline(s: &Solver) -> QueryEffort {
+    s.stats().effort()
 }
 
-fn baseline(s: &Solver) -> Baseline {
-    let st = s.stats();
-    Baseline { conflicts: st.conflicts, decisions: st.decisions, propagations: st.propagations }
-}
-
-fn spent_since(s: &Solver, b: Baseline) -> WorkerStats {
-    let st = s.stats();
+fn spent_since(s: &Solver, b: QueryEffort) -> WorkerStats {
+    let spent = s.stats().effort().since(b);
     WorkerStats {
         worker: 0,
-        conflicts: st.conflicts - b.conflicts,
-        decisions: st.decisions - b.decisions,
-        propagations: st.propagations - b.propagations,
+        conflicts: spent.conflicts,
+        decisions: spent.decisions,
+        propagations: spent.propagations,
     }
 }
 
@@ -211,6 +204,8 @@ impl Portfolio {
     ) -> RaceOutcome {
         let workers = self.config.workers.max(1);
         let base0 = baseline(solver);
+        let obs = solver.obs().clone();
+        let session_kind = solver.query_kind();
 
         // --- degenerate single-worker portfolio: plain solve -------------
         if workers == 1 {
@@ -234,8 +229,12 @@ impl Portfolio {
         // --- probe: run the parent alone under a small budget ------------
         if let Some(probe) = self.config.probe_conflicts {
             let cap = budget.map_or(probe, |b| probe.min(b));
+            let probe_span = obs.span("portfolio.probe");
             solver.set_conflict_budget(cap);
+            solver.set_query_kind(QueryKind::Probe);
             let result = solver.solve_with_assumptions(assumptions);
+            solver.set_query_kind(session_kind);
+            probe_span.end();
             let spent = spent_since(solver, base0);
             let exhausted = budget.is_some_and(|b| spent.conflicts >= b);
             if result != SolveResult::Unknown || exhausted {
@@ -252,6 +251,9 @@ impl Portfolio {
             }
         }
 
+        let _race_span = obs.span("portfolio.race");
+        obs.add(Counter::Races, 1);
+
         // --- cube-and-conquer: split the search space itself --------------
         if self.config.cube_depth > 0 && self.config.deterministic {
             if let Some(cubes) = genfv_sat::cube::split(
@@ -260,7 +262,9 @@ impl Portfolio {
                 self.config.cube_depth,
                 self.config.cube_candidates,
             ) {
-                return self.race_cubes(solver, assumptions, budget, &cubes, base0);
+                let outcome = self.race_cubes(solver, assumptions, budget, &cubes, base0, &obs);
+                solver.set_query_kind(session_kind);
+                return outcome;
             }
         }
 
@@ -276,13 +280,13 @@ impl Portfolio {
         // Per-worker baselines: clones inherit the parent's cumulative
         // stats, so each baseline is taken on the clone itself. Worker 0
         // is charged for the probe by reusing the pre-probe baseline.
-        let mut baselines: Vec<Baseline> = pool.iter().map(baseline).collect();
+        let mut baselines: Vec<QueryEffort> = pool.iter().map(baseline).collect();
         baselines[0] = base0;
 
         let (winner_idx, result, epochs, finishers) = if self.config.deterministic {
-            self.race_epochs(&mut pool, &baselines, assumptions, budget)
+            self.race_epochs(&mut pool, &baselines, assumptions, budget, &obs)
         } else {
-            self.race_wall_clock(&mut pool, &baselines, assumptions, budget)
+            self.race_wall_clock(&mut pool, &baselines, assumptions, budget, &obs)
         };
 
         // --- share the losers' fresh glue into the winner -----------------
@@ -347,16 +351,24 @@ impl Portfolio {
         assumptions: &[Lit],
         budget: Option<u64>,
         cubes: &[Vec<Lit>],
-        base0: Baseline,
+        base0: QueryEffort,
+        obs: &Obs,
     ) -> RaceOutcome {
+        let _cubes_span = obs.span_with("portfolio.cubes", || format!("cubes={}", cubes.len()));
+        obs.add(Counter::CubeSplits, cubes.len() as u64);
         let base_config = solver.config().clone();
         let mark = solver.clause_db_mark();
         let parent = std::mem::take(solver);
         let n = cubes.len();
         let mut pool: Vec<Solver> = (0..n)
-            .map(|i| parent.clone_with_config(worker_config(&base_config, self.config.seed, i)))
+            .map(|i| {
+                let mut worker =
+                    parent.clone_with_config(worker_config(&base_config, self.config.seed, i));
+                worker.set_query_kind(QueryKind::Cube);
+                worker
+            })
             .collect();
-        let baselines: Vec<Baseline> = pool.iter().map(baseline).collect();
+        let baselines: Vec<QueryEffort> = pool.iter().map(baseline).collect();
         let extended: Vec<Vec<Lit>> = cubes
             .iter()
             .map(|cube| assumptions.iter().chain(cube.iter()).copied().collect())
@@ -369,6 +381,7 @@ impl Portfolio {
         let mut sat_cube: Option<usize> = None;
         let result = 'race: loop {
             epochs += 1;
+            let _epoch_span = obs.span_with("portfolio.epoch", || format!("budget={epoch_budget}"));
             let mut order: Vec<usize> = (0..n).filter(|&i| !refuted[i]).collect();
             if order.is_empty() {
                 break SolveResult::Unsat;
@@ -477,14 +490,16 @@ impl Portfolio {
     fn race_epochs(
         &self,
         pool: &mut [Solver],
-        baselines: &[Baseline],
+        baselines: &[QueryEffort],
         assumptions: &[Lit],
         budget: Option<u64>,
+        obs: &Obs,
     ) -> (usize, SolveResult, u64, usize) {
         let mut epoch_budget = self.config.epoch_start.max(1);
         let mut epochs = 0u64;
         loop {
             epochs += 1;
+            let _epoch_span = obs.span_with("portfolio.epoch", || format!("budget={epoch_budget}"));
             let mut order: Vec<usize> = (0..pool.len()).collect();
             order.sort_by_key(|&i| (spent_since(&pool[i], baselines[i]).conflicts, i));
             let mut any_ran = false;
@@ -519,10 +534,12 @@ impl Portfolio {
     fn race_wall_clock(
         &self,
         pool: &mut [Solver],
-        baselines: &[Baseline],
+        baselines: &[QueryEffort],
         assumptions: &[Lit],
         budget: Option<u64>,
+        obs: &Obs,
     ) -> (usize, SolveResult, u64, usize) {
+        let _span = obs.span("portfolio.wall_clock");
         let flag = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<(usize, SolveResult)>();
         std::thread::scope(|scope| {

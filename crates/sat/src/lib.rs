@@ -58,5 +58,5 @@ pub use assume::ActivationGroup;
 pub use clause::{Clause, ClauseBlock, ClauseRef};
 pub use lit::{Lit, Var};
 pub use pool::{BaseTag, ClausePool, PoolConfig, PoolStats, StepTables};
-pub use solver::{RestartPolicy, SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{QueryEffort, RestartPolicy, SolveResult, Solver, SolverConfig, SolverStats};
 pub use tseitin::CnfBuilder;

@@ -61,3 +61,4 @@ pub use request::{DesignInput, JobEvent, JobId, JobReport, JobRequest};
 pub use service::{JobHandle, ServiceConfig, ServiceStats, SubmitRejected, VerificationService};
 
 pub use genfv_core::{CorpusConfig, CorpusMode};
+pub use genfv_obs::{Accumulate, Obs, ObsConfig, ObsReport};

@@ -209,6 +209,11 @@ pub struct JobReport {
     pub queue_wait: Duration,
     /// Time spent running the flow.
     pub run_time: Duration,
+    /// Per-job trace and metrics snapshot, present when the service runs
+    /// with observability on ([`crate::ServiceConfig::with_obs`]): the
+    /// job's span tree down to individual `solve.*` calls, exportable as
+    /// Chrome `trace_event` JSON via [`genfv_obs::ObsReport::chrome_json`].
+    pub obs: Option<genfv_obs::ObsReport>,
 }
 
 impl JobReport {

@@ -8,6 +8,10 @@ use genfv_core::{
     PreparedDesign, ServiceError,
 };
 use genfv_mc::{CheckConfig, EngineMode, PortfolioConfig, SessionSeed, UnrollMode};
+use genfv_obs::{
+    prom_counter, prom_gauge, prom_histogram, Accumulate, AtomicHistogram, HistogramSnapshot,
+    MetricsSnapshot, Obs, ObsConfig,
+};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -40,6 +44,12 @@ pub struct ServiceConfig {
     pub mode: CorpusMode,
     /// Flow configuration shared by every job.
     pub flow: FlowConfig,
+    /// Per-job observability mode: [`ObsConfig::Off`] (default) skips all
+    /// trace recording; `Full`/`Deterministic` give every job a fresh
+    /// [`Obs`] handle whose report rides on [`JobReport::obs`] and whose
+    /// metrics fold into the service-wide [`ServiceStats`]. The queue-wait
+    /// histogram is recorded regardless of this setting.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +62,7 @@ impl Default for ServiceConfig {
             batching: true,
             mode: CorpusMode::Flow2,
             flow: FlowConfig::default(),
+            obs: ObsConfig::Off,
         }
     }
 }
@@ -130,11 +141,18 @@ impl ServiceConfig {
         self.flow = self.flow.with_opt(opt);
         self
     }
+
+    /// This configuration recording per-job traces and metrics in `mode`
+    /// (see [`ServiceConfig::obs`]).
+    pub fn with_obs(mut self, mode: ObsConfig) -> Self {
+        self.obs = mode;
+        self
+    }
 }
 
 /// Point-in-time service counters (see
 /// [`VerificationService::stats`]).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Jobs accepted into the queue.
     pub submitted: u64,
@@ -184,6 +202,46 @@ pub struct ServiceStats {
     /// Clause-pool entries evicted under pool byte budgets, summed over
     /// completed jobs.
     pub pool_evictions: u64,
+    /// Submit→start wait per job, log₂-bucketed in microseconds. Recorded
+    /// for every job regardless of [`ServiceConfig::obs`] — this is the
+    /// latency the flow-level `run_time` never sees.
+    pub queue_wait: HistogramSnapshot,
+    /// Solver metrics (per-kind solve latency/conflict histograms and
+    /// counters) folded in from every completed job's obs report. Empty
+    /// unless the service runs with observability on.
+    pub metrics: MetricsSnapshot,
+}
+
+impl ServiceStats {
+    /// Renders every counter and histogram in Prometheus text exposition
+    /// format (`genfv_*` namespace; histogram times in seconds). Includes
+    /// the queue-wait histogram and, when observability is on, the
+    /// per-query-kind solve-latency histograms.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        prom_counter(&mut out, "genfv_jobs_submitted_total", "", self.submitted);
+        prom_counter(&mut out, "genfv_jobs_completed_total", "", self.completed);
+        prom_counter(&mut out, "genfv_jobs_failed_total", "", self.failed);
+        prom_counter(&mut out, "genfv_jobs_rejected_total", "", self.rejected);
+        prom_counter(&mut out, "genfv_jobs_batched_total", "", self.batched_jobs);
+        prom_gauge(&mut out, "genfv_queue_depth", "", self.queue_depth as f64);
+        prom_counter(&mut out, "genfv_cache_hits_total", "", self.cache_hits);
+        prom_counter(&mut out, "genfv_cache_misses_total", "", self.cache_misses);
+        prom_counter(&mut out, "genfv_cache_evictions_total", "", self.cache_evictions);
+        prom_gauge(&mut out, "genfv_cache_entries", "", self.cache_entries as f64);
+        prom_counter(&mut out, "genfv_clean_seed_hits_total", "", self.clean_seed_hits);
+        prom_counter(&mut out, "genfv_templates_reused_total", "", self.templates_reused);
+        prom_counter(&mut out, "genfv_opt_nodes_removed_total", "", self.opt_nodes_removed);
+        prom_counter(&mut out, "genfv_opt_states_dropped_total", "", self.opt_states_dropped);
+        prom_counter(&mut out, "genfv_cube_splits_total", "", self.cube_splits);
+        prom_counter(&mut out, "genfv_pool_clauses_imported_total", "", self.pool_clauses_imported);
+        prom_counter(&mut out, "genfv_pool_clauses_exported_total", "", self.pool_clauses_exported);
+        prom_counter(&mut out, "genfv_pool_hits_total", "", self.pool_hits);
+        prom_counter(&mut out, "genfv_pool_evictions_total", "", self.pool_evictions);
+        prom_histogram(&mut out, "genfv_queue_wait_seconds", "", &self.queue_wait, 1e-6);
+        self.metrics.render_prometheus(&mut out);
+        out
+    }
 }
 
 #[derive(Default)]
@@ -205,7 +263,37 @@ struct AtomicStats {
     pool_clauses_exported: AtomicU64,
     pool_hits: AtomicU64,
     pool_evictions: AtomicU64,
+    queue_wait: AtomicHistogram,
+    /// Per-job obs metrics folded service-wide (empty with obs off).
+    metrics: Mutex<MetricsSnapshot>,
 }
+
+// Merging two services' point-in-time stats (e.g. sharded deployments):
+// counters and sampled gauges sum, histograms and solver metrics fold.
+genfv_obs::impl_accumulate!(ServiceStats {
+    add: [
+        submitted,
+        completed,
+        failed,
+        rejected,
+        queue_depth,
+        cache_hits,
+        cache_misses,
+        cache_evictions,
+        cache_entries,
+        batched_jobs,
+        clean_seed_hits,
+        templates_reused,
+        opt_nodes_removed,
+        opt_states_dropped,
+        cube_splits,
+        pool_clauses_imported,
+        pool_clauses_exported,
+        pool_hits,
+        pool_evictions,
+    ],
+    merge: [queue_wait, metrics],
+});
 
 /// A queued unit of work.
 struct Job {
@@ -451,6 +539,8 @@ impl VerificationService {
             pool_clauses_exported: s.pool_clauses_exported.load(Ordering::Relaxed),
             pool_hits: s.pool_hits.load(Ordering::Relaxed),
             pool_evictions: s.pool_evictions.load(Ordering::Relaxed),
+            queue_wait: s.queue_wait.snapshot(),
+            metrics: s.metrics.lock().unwrap().clone(),
         }
     }
 
@@ -599,6 +689,7 @@ fn prepare(input: &DesignInput, service_opt: &OptConfig) -> Result<PreparedDesig
 
 fn run_job(shared: &Shared, mut job: Job, entry: &CacheEntry, batched: bool, cache_hit: bool) {
     let queue_wait = job.enqueued_at.elapsed();
+    shared.stats.queue_wait.record(queue_wait.as_micros().min(u128::from(u64::MAX)) as u64);
     let _ = job.tx.send(JobEvent::Started { job: job.id, batched, cache_hit });
 
     // Seed only the target-proof sessions: validation clones compile
@@ -606,15 +697,25 @@ fn run_job(shared: &Shared, mut job: Job, entry: &CacheEntry, batched: bool, cac
     // fingerprints can never match the pristine design's seed anyway.
     let mut flow = shared.config.flow.clone();
     flow.check.seed = Some(Arc::clone(&entry.seed));
+    // Each job records into its own trace (if the service runs with
+    // observability on) so reports are attributable per job even when
+    // workers interleave.
+    let obs = Obs::new(shared.config.obs);
+    if obs.is_enabled() {
+        flow = flow.with_obs(obs.clone());
+    }
     let design = &entry.design;
 
     let started = Instant::now();
     let llm = job.llm.as_deref_mut();
-    let outcome = catch_unwind(AssertUnwindSafe(|| match job.mode {
-        CorpusMode::Baseline => run_baseline(design, &flow),
-        CorpusMode::Flow1 => run_flow1((**design).clone(), llm.unwrap(), &flow),
-        CorpusMode::Flow2 => run_flow2((**design).clone(), llm.unwrap(), &flow),
-        CorpusMode::Combined => run_combined((**design).clone(), llm.unwrap(), &flow),
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _job_span = obs.span_with("job", || design.name.clone());
+        match job.mode {
+            CorpusMode::Baseline => run_baseline(design, &flow),
+            CorpusMode::Flow1 => run_flow1((**design).clone(), llm.unwrap(), &flow),
+            CorpusMode::Flow2 => run_flow2((**design).clone(), llm.unwrap(), &flow),
+            CorpusMode::Combined => run_combined((**design).clone(), llm.unwrap(), &flow),
+        }
     }));
     let run_time = started.elapsed();
 
@@ -642,6 +743,10 @@ fn run_job(shared: &Shared, mut job: Job, entry: &CacheEntry, batched: bool, cac
             shared.stats.pool_hits.fetch_add(solver.pool_hits, Ordering::Relaxed);
             shared.stats.pool_evictions.fetch_add(solver.pool_evictions, Ordering::Relaxed);
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            let obs_report = obs.report();
+            if let Some(r) = &obs_report {
+                shared.stats.metrics.lock().unwrap().absorb(&r.metrics);
+            }
             let report = JobReport {
                 job: job.id,
                 design: design.name.clone(),
@@ -651,6 +756,7 @@ fn run_job(shared: &Shared, mut job: Job, entry: &CacheEntry, batched: bool, cac
                 batched,
                 queue_wait,
                 run_time,
+                obs: obs_report,
             };
             let _ = job.tx.send(JobEvent::Done { job: job.id, report: Box::new(report) });
         }
@@ -802,6 +908,51 @@ endmodule
         }
         let rejected = svc.try_submit(baseline(source("b", "c == c"))).unwrap_err();
         assert!(matches!(rejected.error, Error::Service(ServiceError::Closed)));
+    }
+
+    #[test]
+    fn obs_enabled_job_carries_trace_and_prometheus_exposes_histograms() {
+        let svc =
+            VerificationService::build(ServiceConfig::default().with_obs(ObsConfig::Full), false);
+        // Two same-design jobs: the second runs warm (cache hit) and must
+        // still carry a full trace of its own.
+        let cold = svc.submit(baseline(source("same", "c == c"))).unwrap();
+        let warm = svc.submit(baseline(source("same", "c == c"))).unwrap();
+        {
+            svc.shared.queue.lock().unwrap().closed = true;
+        }
+        svc.run_inline();
+        cold.wait().unwrap();
+        let report = warm.wait().unwrap();
+
+        let obs = report.obs.expect("obs report attached when observability is on");
+        assert_eq!(obs.dropped, 0);
+        let json = obs.chrome_json();
+        let check = genfv_obs::validate_chrome_trace(&json).expect("valid Chrome trace JSON");
+        assert!(check.balanced, "span tree unbalanced");
+        let solve_depth = check.depth_of_prefix("solve.").expect("trace reaches solve calls");
+        assert!(solve_depth >= 3, "solve spans nest under job/flow/prove, got {solve_depth}");
+        assert!(obs.metrics.counter(genfv_obs::Counter::Solves) > 0);
+
+        let text = svc.stats().render_prometheus();
+        assert!(text.contains("genfv_jobs_completed_total 2"), "{text}");
+        assert!(text.contains("genfv_queue_wait_seconds_bucket"), "{text}");
+        assert!(text.contains("genfv_solve_latency_seconds_bucket"), "{text}");
+        assert!(text.contains("genfv_queue_wait_seconds_count 2"), "{text}");
+    }
+
+    #[test]
+    fn obs_off_jobs_carry_no_trace() {
+        let svc = VerificationService::build(ServiceConfig::default(), false);
+        let handle = svc.submit(baseline(source("a", "c == c"))).unwrap();
+        {
+            svc.shared.queue.lock().unwrap().closed = true;
+        }
+        svc.run_inline();
+        let report = handle.wait().unwrap();
+        assert!(report.obs.is_none());
+        // The queue-wait histogram records regardless.
+        assert_eq!(svc.stats().queue_wait.count, 1);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 # OptLevel::None prepares (exits nonzero on any verdict regression or if
 # the datapath designs stop shrinking), e13 races cold vs clause-pooled
 # sessions with cube-and-conquer armed (exits nonzero on any verdict
-# divergence or zero pool hits). Quick-mode JSON goes to target/ so the
-# committed full-run BENCH_*.json files (5-sample medians) are never
-# clobbered by 2-sample gate numbers.
+# divergence or zero pool hits), e14 races warm service traffic with
+# tracing Off vs Full (exits nonzero if Full overhead exceeds 5% or the
+# exported Chrome trace fails its schema check). Quick-mode JSON goes to
+# target/ so the committed full-run BENCH_*.json files (5-sample medians)
+# are never clobbered by 2-sample gate numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,3 +34,5 @@ GENFV_BENCH_JSON=target/ci-BENCH_opt.json \
     cargo run --release -p genfv-bench --bin e12_opt -- --quick
 GENFV_BENCH_JSON=target/ci-BENCH_cube.json \
     cargo run --release -p genfv-bench --bin e13_cube -- --quick
+GENFV_BENCH_JSON=target/ci-BENCH_obs.json \
+    cargo run --release -p genfv-bench --bin e14_obs -- --quick

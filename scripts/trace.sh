@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Trace one design/flow run: writes a Perfetto-loadable trace.json and
+# prints the span tree to stdout.
+#
+#   scripts/trace.sh                         # first corpus design, baseline flow
+#   scripts/trace.sh gray_counter            # pick a design (--list to enumerate)
+#   scripts/trace.sh hamming74 --flow flow1  # baseline|flow1|flow2|combined
+#   scripts/trace.sh lfsr16 --deterministic  # logical clock instead of wall time
+#   scripts/trace.sh --list
+#
+# Extra arguments pass straight through to the `trace` binary
+# (e.g. --out other.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p genfv-bench --bin trace -- "$@"

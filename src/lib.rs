@@ -20,6 +20,7 @@
 //! | [`core`] | `genfv-core` | the paper's flows: validation gauntlet, Houdini, Flow 1/Flow 2 |
 //! | [`designs`] | `genfv-designs` | the evaluation corpus (counters + ECC + FIFO designs) |
 //! | [`service`] | `genfv-service` | verification as a service: typed requests, streaming results, warm-session cache |
+//! | [`obs`] | `genfv-obs` | tracing spans, metrics, Chrome-trace export, Prometheus exposition |
 //!
 //! ## The paper in five lines
 //!
@@ -58,6 +59,7 @@ pub use genfv_genai as genai;
 pub use genfv_hdl as hdl;
 pub use genfv_ir as ir;
 pub use genfv_mc as mc;
+pub use genfv_obs as obs;
 pub use genfv_sat as sat;
 pub use genfv_service as service;
 pub use genfv_sva as sva;
@@ -116,6 +118,7 @@ pub mod prelude {
         bmc, render_final_bits, render_waveform, CheckConfig, EngineMode, KInduction, Property,
         ProveResult, Trace, UnrollMode,
     };
+    pub use genfv_obs::{Obs, ObsConfig, ObsReport};
     pub use genfv_service::{
         run_corpus, DesignInput, JobEvent, JobHandle, JobId, JobReport, JobRequest, ServiceConfig,
         ServiceStats, SubmitRejected, VerificationService,
