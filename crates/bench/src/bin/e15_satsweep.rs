@@ -1,0 +1,344 @@
+//! **E15 — SAT-sweeping**: additional CNF shrinkage and flow cost of
+//! `OptLevel::SatSweep` over the PR 7 `OptLevel::Full` pipeline,
+//! differentially checked.
+//!
+//! Every design is prepared twice — at the default `OptLevel::Full`
+//! (sweep off) and at `OptLevel::SatSweep` (sweep on) — and measured two
+//! ways:
+//!
+//! * **CNF section** (whole corpus + datapath): the per-frame transition
+//!   template is built over both netlists and its variable/clause counts
+//!   compared, alongside the sweep's own counters
+//!   (`pairs_proved` / `pairs_refuted` / `nodes_merged` /
+//!   `sweep_conflicts`). The datapath designs are the showcase: register
+//!   correspondence merges the shadow accumulator into the multiplier
+//!   register on top of PR 7's factoring.
+//! * **Flow section**: plain k-induction (`run_baseline`) and the full
+//!   Flow-2 repair loop run end to end on both netlists, median wall
+//!   time over `--samples` runs each — the sweep happens at prepare
+//!   time, so this prices the trade of prepare-time SAT calls against
+//!   smaller per-frame templates.
+//!
+//! The run is differential — it **fails with exit 1** if any swept
+//! verdict *regresses* (classes must match, except that the swept
+//! netlist may close a proof the unswept one stalled on — register
+//! merges strengthen the induction hypothesis exactly like stuck-at
+//! folding), if any real falsification lands on a different cycle, if a
+//! datapath design shows zero merges or no clause reduction beyond
+//! `Full` (the sweep silently stopped firing), or if any design's total
+//! sweep conflicts exceed the per-pair budget envelope (an unbounded
+//! solver call escaped the budget).
+//!
+//! Results go to stdout and `BENCH_satsweep.json` (working directory, or
+//! `$GENFV_BENCH_JSON`). Run with
+//! `cargo run --release -p genfv-bench --bin e15_satsweep`.
+
+use genfv_bench::ms;
+use genfv_core::{
+    run_baseline, run_flow2, FlowConfig, FlowReport, OptConfig, OptLevel, PreparedDesign, Table,
+    TargetOutcome,
+};
+use genfv_designs::DesignBundle;
+use genfv_genai::{ModelProfile, SyntheticLlm};
+use genfv_ir::{ExprRef, SatSweepConfig, Template};
+use std::time::{Duration, Instant};
+
+/// Flow-section designs for the plain-induction comparison: the datapath
+/// pair (where register correspondence pays), the lockstep designs the
+/// sweep collapses outright, and corpus members covering falsifications
+/// and refuted-pair churn.
+const BASELINE_DESIGNS: &[&str] =
+    &["mul_incr", "mul_distrib", "sync_counters_16", "twin_shift", "hamming74", "desync_counters"];
+
+/// Flow-2 section designs: the lemma-hungry family (same as e8-e12).
+const FLOW_DESIGNS: &[&str] =
+    &["sync_counters_16", "parity_pipe", "hamming74", "ecc_counter", "fifo_counters"];
+
+const MODEL: ModelProfile = ModelProfile::GptFourTurbo;
+const LLM_SEED: u64 = 42;
+
+fn full_prep(bundle: &DesignBundle) -> PreparedDesign {
+    bundle.prepare().expect("full prepare")
+}
+
+fn sweep_prep(bundle: &DesignBundle) -> PreparedDesign {
+    bundle
+        .prepare_with(&OptConfig::default().with_level(OptLevel::SatSweep))
+        .expect("sweep prepare")
+}
+
+/// Proven-class verdicts deliberately exclude k: register-correspondence
+/// strengthening may close the swept proof at a smaller depth.
+fn verdict_class(outcome: &TargetOutcome) -> String {
+    match outcome {
+        TargetOutcome::Proven { .. } => "proven".to_string(),
+        TargetOutcome::Falsified { at } => format!("falsified@{at}"),
+        TargetOutcome::StillUnproven { .. } => "still_unproven".to_string(),
+        TargetOutcome::Unknown { .. } => "unknown".to_string(),
+    }
+}
+
+/// Equal classes, or improvement in the strengthening direction only.
+fn verdicts_ok(base: &FlowReport, swept: &FlowReport) -> bool {
+    base.targets.len() == swept.targets.len()
+        && base.targets.iter().zip(&swept.targets).all(|(b, o)| {
+            let (b, o) = (verdict_class(&b.outcome), verdict_class(&o.outcome));
+            b == o || (o == "proven" && (b == "still_unproven" || b == "unknown"))
+        })
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Per-frame CNF size of the design's transition template with the
+/// target properties as extra roots — the cost every stamped frame pays.
+fn cnf_size(design: &PreparedDesign) -> (u32, usize) {
+    let roots: Vec<ExprRef> = design.targets.iter().map(|t| t.prop.ok).collect();
+    let template = Template::build_with(&design.ctx, &design.ts, &roots);
+    (template.num_vars(), template.num_clauses())
+}
+
+struct CnfCell {
+    design: String,
+    datapath: bool,
+    full_vars: u32,
+    full_clauses: usize,
+    sweep_vars: u32,
+    sweep_clauses: usize,
+    pairs_proved: u64,
+    pairs_refuted: u64,
+    nodes_merged: u64,
+    sweep_conflicts: u64,
+}
+
+fn cnf_cell(bundle: &DesignBundle, datapath: bool) -> CnfCell {
+    let full = full_prep(bundle);
+    let swept = sweep_prep(bundle);
+    let (full_vars, full_clauses) = cnf_size(&full);
+    let (sweep_vars, sweep_clauses) = cnf_size(&swept);
+    CnfCell {
+        design: bundle.name.to_string(),
+        datapath,
+        full_vars,
+        full_clauses,
+        sweep_vars,
+        sweep_clauses,
+        pairs_proved: swept.opt_stats.pairs_proved,
+        pairs_refuted: swept.opt_stats.pairs_refuted,
+        nodes_merged: swept.opt_stats.nodes_merged,
+        sweep_conflicts: swept.opt_stats.sweep_conflicts,
+    }
+}
+
+struct FlowCell {
+    section: &'static str,
+    design: String,
+    full: Duration,
+    sweep: Duration,
+    agree: bool,
+}
+
+fn flow_cell(section: &'static str, name: &str, samples: usize) -> FlowCell {
+    let bundle = genfv_designs::by_name(name).expect("benchmark design exists");
+    let run = |design: PreparedDesign| -> FlowReport {
+        match section {
+            "baseline" => run_baseline(&design, &FlowConfig::default()),
+            _ => run_flow2(design, &mut SyntheticLlm::new(MODEL, LLM_SEED), &FlowConfig::default()),
+        }
+    };
+    let mut full_times = Vec::new();
+    let mut sweep_times = Vec::new();
+    let mut agree = true;
+    for _ in 0..samples {
+        let design = full_prep(&bundle);
+        let t0 = Instant::now();
+        let full_report = run(design);
+        full_times.push(t0.elapsed());
+
+        let design = sweep_prep(&bundle);
+        let t0 = Instant::now();
+        let sweep_report = run(design);
+        sweep_times.push(t0.elapsed());
+
+        agree &= verdicts_ok(&full_report, &sweep_report);
+    }
+    FlowCell {
+        section,
+        design: name.to_string(),
+        full: median(&mut full_times),
+        sweep: median(&mut sweep_times),
+        agree,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick { 2 } else { 5 })
+        .max(1);
+    let only: Option<&String> =
+        args.iter().position(|a| a == "--only").and_then(|p| args.get(p + 1));
+    let keep = |name: &str| only.is_none_or(|o| o == name);
+    let budget = SatSweepConfig::default().conflict_budget;
+
+    // ---- CNF section ---------------------------------------------------
+    let mut cnf_cells: Vec<CnfCell> = Vec::new();
+    for bundle in genfv_designs::all_designs() {
+        if keep(bundle.name) {
+            cnf_cells.push(cnf_cell(&bundle, false));
+        }
+    }
+    for bundle in genfv_designs::datapath_designs() {
+        if keep(bundle.name) {
+            cnf_cells.push(cnf_cell(&bundle, true));
+        }
+    }
+
+    let mut cnf_table = Table::new([
+        "design",
+        "vars (full)",
+        "vars (sweep)",
+        "clauses (full)",
+        "clauses (sweep)",
+        "reduction",
+        "proved",
+        "refuted",
+        "merged",
+        "conflicts",
+    ]);
+    let mut json_cnf = Vec::new();
+    let mut datapath_unswept: Vec<String> = Vec::new();
+    let mut over_budget: Vec<String> = Vec::new();
+    for c in &cnf_cells {
+        let reduction = 1.0 - c.sweep_clauses as f64 / c.full_clauses.max(1) as f64;
+        if c.datapath && (c.nodes_merged == 0 || c.sweep_clauses >= c.full_clauses) {
+            datapath_unswept.push(c.design.clone());
+        }
+        // Budget envelope: every miter is individually capped, so the
+        // design's total can never exceed queries x per-pair budget.
+        let queries = (c.pairs_proved + c.pairs_refuted).max(1);
+        if c.sweep_conflicts > queries * budget {
+            over_budget.push(c.design.clone());
+        }
+        cnf_table.row([
+            c.design.clone(),
+            c.full_vars.to_string(),
+            c.sweep_vars.to_string(),
+            c.full_clauses.to_string(),
+            c.sweep_clauses.to_string(),
+            format!("{:.1}%", reduction * 100.0),
+            c.pairs_proved.to_string(),
+            c.pairs_refuted.to_string(),
+            c.nodes_merged.to_string(),
+            c.sweep_conflicts.to_string(),
+        ]);
+        json_cnf.push(format!(
+            "    {{\"design\": \"{}\", \"datapath\": {}, \"full_vars\": {}, \
+             \"sweep_vars\": {}, \"full_clauses\": {}, \"sweep_clauses\": {}, \
+             \"clause_reduction\": {reduction:.4}, \"pairs_proved\": {}, \
+             \"pairs_refuted\": {}, \"nodes_merged\": {}, \"sweep_conflicts\": {}}}",
+            c.design,
+            c.datapath,
+            c.full_vars,
+            c.sweep_vars,
+            c.full_clauses,
+            c.sweep_clauses,
+            c.pairs_proved,
+            c.pairs_refuted,
+            c.nodes_merged,
+            c.sweep_conflicts,
+        ));
+    }
+
+    // ---- Flow section --------------------------------------------------
+    let mut flow_cells: Vec<FlowCell> = Vec::new();
+    for name in BASELINE_DESIGNS {
+        if keep(name) {
+            flow_cells.push(flow_cell("baseline", name, samples));
+        }
+    }
+    for name in FLOW_DESIGNS {
+        if keep(name) {
+            flow_cells.push(flow_cell("flow2", name, samples));
+        }
+    }
+
+    let mut flow_table =
+        Table::new(["section", "design", "full (median)", "sweep (median)", "speedup", "verdicts"]);
+    let mut json_flow = Vec::new();
+    let mut speedups = Vec::new();
+    let mut divergent = false;
+    for c in &flow_cells {
+        let speedup = c.full.as_secs_f64() / c.sweep.as_secs_f64().max(1e-9);
+        speedups.push(speedup);
+        divergent |= !c.agree;
+        flow_table.row([
+            c.section.to_string(),
+            c.design.clone(),
+            ms(c.full),
+            ms(c.sweep),
+            format!("{speedup:.2}x"),
+            if c.agree { "no regression".to_string() } else { "DIVERGED".to_string() },
+        ]);
+        json_flow.push(format!(
+            "    {{\"section\": \"{}\", \"design\": \"{}\", \"full_ms\": {:.3}, \
+             \"sweep_ms\": {:.3}, \"speedup\": {speedup:.3}, \"verdicts_ok\": {}}}",
+            c.section,
+            c.design,
+            c.full.as_secs_f64() * 1e3,
+            c.sweep.as_secs_f64() * 1e3,
+            c.agree,
+        ));
+    }
+
+    let geomean =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len().max(1) as f64).exp();
+
+    println!("E15: SAT-sweeping — OptLevel::Full vs OptLevel::SatSweep\n");
+    println!("per-frame transition-template CNF:\n");
+    println!("{}", cnf_table.render());
+    println!("\nend-to-end flows ({samples} samples/cell):\n");
+    println!("{}", flow_table.render());
+    println!("\nflow geomean speedup: {geomean:.2}x over {} cells", speedups.len());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e15_satsweep\",\n  \"samples\": {samples},\n  \
+         \"conflict_budget\": {budget},\n  \
+         \"flow_geomean_speedup\": {geomean:.3},\n  \"cnf\": [\n{}\n  ],\n  \
+         \"flows\": [\n{}\n  ]\n}}\n",
+        json_cnf.join(",\n"),
+        json_flow.join(",\n")
+    );
+    let path =
+        std::env::var("GENFV_BENCH_JSON").unwrap_or_else(|_| "BENCH_satsweep.json".to_string());
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {path}");
+
+    if divergent {
+        eprintln!("FAIL: a swept flow verdict regressed against OptLevel::Full");
+        std::process::exit(1);
+    }
+    if !datapath_unswept.is_empty() {
+        eprintln!(
+            "FAIL: zero merges or no CNF reduction beyond Full on datapath design(s) {} — \
+             the sweep stopped firing",
+            datapath_unswept.join(", ")
+        );
+        std::process::exit(1);
+    }
+    if !over_budget.is_empty() {
+        eprintln!(
+            "FAIL: sweep conflicts exceeded the per-pair budget envelope on {} — \
+             an unbounded solver call escaped",
+            over_budget.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

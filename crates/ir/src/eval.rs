@@ -23,6 +23,34 @@ pub fn evaluate(ctx: &Context, env: &Env, e: ExprRef) -> BitVecValue {
     eval_memo(ctx, env, e, &mut memo)
 }
 
+/// Evaluates many expressions under one shared memo — a single arena walk
+/// instead of one per root. The SAT-sweep signature engine uses this to
+/// value every candidate node of a stimulus vector at once.
+///
+/// # Panics
+/// Panics if a reachable symbol is unbound.
+pub fn evaluate_all(ctx: &Context, env: &Env, es: &[ExprRef]) -> Vec<BitVecValue> {
+    let mut memo: HashMap<ExprRef, BitVecValue> = HashMap::new();
+    es.iter().map(|&e| eval_memo(ctx, env, e, &mut memo)).collect()
+}
+
+/// The splitmix64 step: a tiny, high-quality, dependency-free PRNG. The
+/// simulator's stimulus helpers derive every random bit from it so stimulus
+/// is a pure function of the caller's seed.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A width-correct random value drawn from a splitmix64 stream.
+fn random_value(state: &mut u64, width: u32) -> BitVecValue {
+    let bits: Vec<bool> = (0..width).map(|i| (splitmix64(state) >> (i % 64)) & 1 == 1).collect();
+    BitVecValue::from_bits_lsb_first(&bits)
+}
+
 fn eval_memo(
     ctx: &Context,
     env: &Env,
@@ -180,6 +208,34 @@ impl<'a> Simulator<'a> {
     pub fn env(&self) -> &Env {
         &self.env
     }
+
+    /// Assigns every declared input a deterministic pseudo-random value
+    /// derived from `seed` (splitmix64 over the declaration order). Two
+    /// simulators over the same system and seed see identical stimulus, so
+    /// callers — the SAT-sweep signature engine, differential tests —
+    /// never hand-roll input vectors.
+    pub fn randomize_inputs(&mut self, seed: u64) {
+        let mut state = seed ^ 0xa076_1d64_78bd_642f;
+        let syms: Vec<ExprRef> = self.ts.inputs().to_vec();
+        for sym in syms {
+            let v = random_value(&mut state, self.ctx.width_of(sym));
+            self.env.insert(sym, v);
+        }
+    }
+
+    /// Assigns every state register a deterministic pseudo-random value
+    /// derived from `seed` — an *arbitrary* current frame in the
+    /// induction-hypothesis sense, not a reachable one. The SAT-sweep
+    /// signature engine uses this so candidate classes reflect
+    /// combinational equivalence rather than reachability accidents.
+    pub fn randomize_states(&mut self, seed: u64) {
+        let mut state = seed ^ 0xe703_7ed1_a0b4_28db;
+        let syms: Vec<ExprRef> = self.ts.states().iter().map(|s| s.symbol).collect();
+        for sym in syms {
+            let v = random_value(&mut state, self.ctx.width_of(sym));
+            self.env.insert(sym, v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +327,50 @@ mod tests {
             sim.step();
         }
         assert!(!sim.constraints_hold(), "x reached 5");
+    }
+
+    #[test]
+    fn randomized_stimulus_is_deterministic_and_width_correct() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 3);
+        let b = ctx.symbol("b", 64);
+        let r = ctx.symbol("r", 17);
+        let mut ts = TransitionSystem::new("t");
+        ts.add_input(a);
+        ts.add_input(b);
+        ts.add_state(r, None, r);
+        let mut s1 = Simulator::new(&ctx, &ts);
+        let mut s2 = Simulator::new(&ctx, &ts);
+        s1.randomize_inputs(7);
+        s1.randomize_states(9);
+        s2.randomize_inputs(7);
+        s2.randomize_states(9);
+        for sym in [a, b, r] {
+            assert_eq!(s1.get(sym), s2.get(sym), "same seed, same stimulus");
+            assert_eq!(s1.get(sym).width(), ctx.width_of(sym));
+        }
+        s2.randomize_inputs(8);
+        assert!(
+            s1.get(a) != s2.get(a) || s1.get(b) != s2.get(b),
+            "different seeds should move at least one input"
+        );
+        assert_eq!(s1.get(r), s2.get(r), "randomize_inputs leaves states alone");
+    }
+
+    #[test]
+    fn evaluate_all_matches_evaluate() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("a", 8);
+        let b = ctx.symbol("b", 8);
+        let sum = ctx.add(a, b);
+        let prod = ctx.mul(sum, a);
+        let mut env = Env::new();
+        env.insert(a, BitVecValue::from_u64(3, 8));
+        env.insert(b, BitVecValue::from_u64(4, 8));
+        let all = evaluate_all(&ctx, &env, &[sum, prod, a]);
+        assert_eq!(all[0], evaluate(&ctx, &env, sum));
+        assert_eq!(all[1], evaluate(&ctx, &env, prod));
+        assert_eq!(all[2], evaluate(&ctx, &env, a));
     }
 
     #[test]

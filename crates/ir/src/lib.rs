@@ -46,17 +46,19 @@ pub mod encode;
 pub mod eval;
 pub mod expr;
 pub mod opt;
+pub mod satsweep;
 pub mod template;
 pub mod ts;
 pub mod value;
 
 pub use bitblast::{BitBlaster, LitEnv};
 pub use encode::GateEncoder;
-pub use eval::{evaluate, Env, Simulator};
+pub use eval::{evaluate, evaluate_all, Env, Simulator};
 pub use expr::{BinaryOp, Context, Expr, ExprRef, UnaryOp};
 pub use opt::{
     optimize, optimize_with, OptConfig, OptLevel, OptPass, OptStats, PassCount, PassManager,
 };
+pub use satsweep::{SatSweepConfig, SatSweepPass, SatSweepStats};
 pub use template::{FrameStamp, TRef, Template, TemplateStats};
 pub use ts::{State, TransitionSystem};
 pub use value::BitVecValue;

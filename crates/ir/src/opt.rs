@@ -30,17 +30,34 @@
 //!    every property vacuously true — removing it would be unsound) and
 //!    signals anchor the cone so counterexample waveforms and Flow-2
 //!    prompts render identically before and after optimization.
-//! 5. **`sweep`** — dead-node elimination: the reachable structure is
+//! 5. **`satsweep`** ([`OptLevel::SatSweep`] only) — SAT-sweeping:
+//!    simulation signatures partition nodes into candidate equivalence
+//!    classes, budgeted SAT miters prove or refute each candidate pair,
+//!    and proved pairs are merged onto one representative (complemented
+//!    equivalence via a NOT wrapper); a separate register-correspondence
+//!    stage merges lockstep registers. See [`crate::satsweep`].
+//! 6. **`sweep`** — dead-node elimination: the reachable structure is
 //!    rebuilt into a fresh arena, compacting away elaboration garbage and
 //!    everything the other passes orphaned; constraints that folded to
 //!    constant true are removed (constant-false ones are kept — they
 //!    constrain the system into vacuity and must keep doing so).
 //!
-//! All rewrites are verdict-preserving equivalences except `stuck`, which
-//! installs the (proven) invariant `state == c` and can therefore only
-//! strengthen induction — the corpus-wide differential suite
-//! (`opt_differential.rs`) checks that in practice verdict classes never
-//! move. Callers opt out entirely with [`OptLevel::None`].
+//! **Naming note — two "sweep"s.** `sweep` ([`SweepPass`]) is *arena
+//! reclamation*: it proves nothing and merges nothing, it just copies the
+//! reachable structure into a fresh arena so orphaned nodes stop costing
+//! memory. `satsweep` ([`SatSweepPass`](crate::satsweep::SatSweepPass))
+//! is *SAT-sweeping* in the synthesis-literature sense (fraiging): it
+//! proves functional equivalences with a solver and rewrites uses, which
+//! *creates* the garbage the arena sweep then collects. The two are
+//! deliberately adjacent in the pipeline: satsweep runs right before
+//! sweep so dead cones are reclaimed in the same round.
+//!
+//! All rewrites are verdict-preserving equivalences except `stuck` and
+//! the `satsweep` register stage, which install proven invariants
+//! (`state == c`, `r == s`) and can therefore only strengthen induction —
+//! the corpus-wide differential suites (`opt_differential.rs`,
+//! `satsweep_differential.rs`) check that in practice verdict classes
+//! never move. Callers opt out entirely with [`OptLevel::None`].
 
 use crate::expr::{BinaryOp, Context, Expr, ExprRef, UnaryOp};
 use crate::ts::TransitionSystem;
@@ -58,6 +75,11 @@ pub enum OptLevel {
     /// The whole pipeline. The default.
     #[default]
     Full,
+    /// Everything in `Full` plus SAT-sweeping (simulation-guided
+    /// equivalence merging with bounded solver calls) and register
+    /// correspondence. More prepare-time work for smaller per-frame CNF;
+    /// opt-in because the sweep spends real solver effort during prepare.
+    SatSweep,
 }
 
 impl OptLevel {
@@ -70,6 +92,7 @@ impl OptLevel {
             OptLevel::None => 0,
             OptLevel::Basic => 0x9e37_79b9_7f4a_7c15,
             OptLevel::Full => 0xd1b5_4a32_d192_ed03,
+            OptLevel::SatSweep => 0x94d0_49bb_1331_11eb,
         }
     }
 }
@@ -106,7 +129,8 @@ impl OptConfig {
 /// Applications of one pass, accumulated across fixpoint rounds.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PassCount {
-    /// Pass name (`rewrite`, `stuck`, `rebalance`, `coi`, `sweep`).
+    /// Pass name (`rewrite`, `stuck`, `rebalance`, `coi`, `satsweep`,
+    /// `sweep`).
     pub pass: String,
     /// Number of applications (rewrites fired, states dropped, chains
     /// rebalanced, nodes swept — each pass's natural unit).
@@ -134,6 +158,16 @@ pub struct OptStats {
     pub coi_dropped_states: u64,
     /// Constraints that folded to constant true and were removed.
     pub constraints_dropped: u64,
+    /// SAT-sweep candidate pairs proved equivalent (UNSAT miters plus
+    /// structural register correspondences).
+    pub pairs_proved: u64,
+    /// SAT-sweep candidate pairs refuted by a satisfiable miter.
+    pub pairs_refuted: u64,
+    /// Nodes the SAT-sweep rewrote onto a class representative
+    /// (including merged registers).
+    pub nodes_merged: u64,
+    /// Solver conflicts spent inside SAT-sweep equivalence queries.
+    pub sweep_conflicts: u64,
     /// Per-pass application counts, in pipeline order.
     pub per_pass: Vec<PassCount>,
 }
@@ -154,6 +188,10 @@ impl genfv_obs::Accumulate for OptStats {
         self.stuck_states += other.stuck_states;
         self.coi_dropped_states += other.coi_dropped_states;
         self.constraints_dropped += other.constraints_dropped;
+        self.pairs_proved += other.pairs_proved;
+        self.pairs_refuted += other.pairs_refuted;
+        self.nodes_merged += other.nodes_merged;
+        self.sweep_conflicts += other.sweep_conflicts;
         for pc in &other.per_pass {
             match self.per_pass.iter_mut().find(|mine| mine.pass == pc.pass) {
                 Some(mine) => mine.applications += pc.applications,
@@ -175,9 +213,11 @@ impl OptStats {
         self.stuck_states + self.coi_dropped_states
     }
 
-    /// One-line human summary, used in reports and service logs.
+    /// One-line human summary, used in reports and service logs. The
+    /// SAT-sweep counters are appended only when the sweep actually ran,
+    /// keeping `None`/`Basic`/`Full` summaries byte-stable.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "opt[{:?}] rounds={} nodes {}→{} rewrites={} rebal={} stuck={} coi={}",
             self.level,
             self.rounds,
@@ -187,7 +227,14 @@ impl OptStats {
             self.chains_rebalanced,
             self.stuck_states,
             self.coi_dropped_states
-        )
+        );
+        if self.pairs_proved + self.pairs_refuted + self.nodes_merged + self.sweep_conflicts > 0 {
+            line.push_str(&format!(
+                " satsweep proved={} refuted={} merged={} conflicts={}",
+                self.pairs_proved, self.pairs_refuted, self.nodes_merged, self.sweep_conflicts
+            ));
+        }
+        line
     }
 }
 
@@ -210,10 +257,18 @@ pub trait OptPass {
             "stuck" => "opt.stuck",
             "rebalance" => "opt.rebalance",
             "coi" => "opt.coi",
+            "satsweep" => "opt.satsweep",
             "sweep" => "opt.sweep",
             _ => "opt.pass",
         }
     }
+    /// Hands the pass the pipeline's observability handle before it runs
+    /// (passes that issue solver calls record their own counters).
+    fn attach_obs(&mut self, _obs: &genfv_obs::Obs) {}
+    /// Folds pass-specific counters into the pipeline stats after the
+    /// fixpoint loop (the generic per-pass application count only carries
+    /// one number; passes with richer accounting report it here).
+    fn fold_stats(&self, _stats: &mut OptStats) {}
 }
 
 /// Runs a pass pipeline to a fixpoint with per-pass statistics.
@@ -248,6 +303,13 @@ impl PassManager {
                 .with_pass(Box::new(StuckAtPass))
                 .with_pass(Box::new(RebalancePass))
                 .with_pass(Box::new(CoiPass))
+                .with_pass(Box::new(SweepPass)),
+            OptLevel::SatSweep => pm
+                .with_pass(Box::new(RewritePass))
+                .with_pass(Box::new(StuckAtPass))
+                .with_pass(Box::new(RebalancePass))
+                .with_pass(Box::new(CoiPass))
+                .with_pass(Box::new(crate::satsweep::SatSweepPass::new()))
                 .with_pass(Box::new(SweepPass)),
         }
     }
@@ -288,6 +350,9 @@ impl PassManager {
             .iter()
             .map(|p| PassCount { pass: p.name().to_string(), applications: 0 })
             .collect();
+        for pass in self.passes.iter_mut() {
+            pass.attach_obs(obs);
+        }
         for _ in 0..self.max_rounds {
             let mut semantic_fires = 0u64;
             for (i, pass) in self.passes.iter_mut().enumerate() {
@@ -315,6 +380,9 @@ impl PassManager {
                 "coi" => stats.coi_dropped_states += pc.applications,
                 _ => {}
             }
+        }
+        for pass in &self.passes {
+            pass.fold_stats(&mut stats);
         }
         stats.per_pass = per;
         stats
@@ -360,7 +428,7 @@ pub fn optimize_with(
 
 // --- shared machinery -------------------------------------------------------
 
-fn mk_unary(ctx: &mut Context, op: UnaryOp, a: ExprRef) -> ExprRef {
+pub(crate) fn mk_unary(ctx: &mut Context, op: UnaryOp, a: ExprRef) -> ExprRef {
     match op {
         UnaryOp::Not => ctx.not(a),
         UnaryOp::Neg => ctx.neg(a),
@@ -370,7 +438,7 @@ fn mk_unary(ctx: &mut Context, op: UnaryOp, a: ExprRef) -> ExprRef {
     }
 }
 
-fn mk_binary(ctx: &mut Context, op: BinaryOp, a: ExprRef, b: ExprRef) -> ExprRef {
+pub(crate) fn mk_binary(ctx: &mut Context, op: BinaryOp, a: ExprRef, b: ExprRef) -> ExprRef {
     match op {
         BinaryOp::And => ctx.and(a, b),
         BinaryOp::Or => ctx.or(a, b),
@@ -1309,7 +1377,12 @@ mod tests {
     #[test]
     fn salts_are_distinct() {
         assert_eq!(OptLevel::None.salt(), 0);
-        assert_ne!(OptLevel::Basic.salt(), OptLevel::Full.salt());
-        assert_ne!(OptLevel::Full.salt(), 0);
+        let salts = [OptLevel::Basic.salt(), OptLevel::Full.salt(), OptLevel::SatSweep.salt()];
+        for (i, a) in salts.iter().enumerate() {
+            assert_ne!(*a, 0);
+            for b in &salts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 }

@@ -75,11 +75,15 @@ pub enum Counter {
     Races,
     /// Cube-and-conquer splits taken.
     CubeSplits,
+    /// SAT-sweep equivalence queries issued (proved + refuted + budgeted).
+    SweepPairs,
+    /// SAT-sweep nodes merged into a class representative.
+    SweepMerges,
 }
 
 impl Counter {
     /// All counters, in exposition order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 10] = [
         Counter::Solves,
         Counter::Conflicts,
         Counter::Decisions,
@@ -88,6 +92,8 @@ impl Counter {
         Counter::TemplateClauses,
         Counter::Races,
         Counter::CubeSplits,
+        Counter::SweepPairs,
+        Counter::SweepMerges,
     ];
 
     /// Prometheus metric name suffix (`genfv_<name>_total`).
@@ -101,6 +107,8 @@ impl Counter {
             Counter::TemplateClauses => "template_clauses",
             Counter::Races => "portfolio_races",
             Counter::CubeSplits => "cube_splits",
+            Counter::SweepPairs => "satsweep_pairs",
+            Counter::SweepMerges => "satsweep_merges",
         }
     }
 
@@ -114,6 +122,8 @@ impl Counter {
             Counter::TemplateClauses => 5,
             Counter::Races => 6,
             Counter::CubeSplits => 7,
+            Counter::SweepPairs => 8,
+            Counter::SweepMerges => 9,
         }
     }
 }

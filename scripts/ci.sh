@@ -12,7 +12,10 @@
 # sessions with cube-and-conquer armed (exits nonzero on any verdict
 # divergence or zero pool hits), e14 races warm service traffic with
 # tracing Off vs Full (exits nonzero if Full overhead exceeds 5% or the
-# exported Chrome trace fails its schema check). Quick-mode JSON goes to
+# exported Chrome trace fails its schema check), e15 races
+# OptLevel::SatSweep vs OptLevel::Full prepares (exits nonzero on any
+# verdict regression, zero datapath merges, or a busted conflict-budget
+# envelope). Quick-mode JSON goes to
 # target/ so the committed full-run BENCH_*.json files (5-sample medians)
 # are never clobbered by 2-sample gate numbers.
 set -euo pipefail
@@ -36,3 +39,5 @@ GENFV_BENCH_JSON=target/ci-BENCH_cube.json \
     cargo run --release -p genfv-bench --bin e13_cube -- --quick
 GENFV_BENCH_JSON=target/ci-BENCH_obs.json \
     cargo run --release -p genfv-bench --bin e14_obs -- --quick
+GENFV_BENCH_JSON=target/ci-BENCH_satsweep.json \
+    cargo run --release -p genfv-bench --bin e15_satsweep -- --quick
